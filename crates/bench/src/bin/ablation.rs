@@ -1,0 +1,4 @@
+//! Regenerates the analyzer design-choice ablation matrix.
+fn main() {
+    print!("{}", tcpa_bench::scenarios::ablation::run().render());
+}

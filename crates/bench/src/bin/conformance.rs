@@ -1,0 +1,4 @@
+//! Regenerates the \[CL94\]-style conformance matrix from passive traces.
+fn main() {
+    print!("{}", tcpa_bench::scenarios::conformance::run().render());
+}

@@ -1,0 +1,106 @@
+//! `gen_trace` — generate a pcap capture of a simulated TCP implementation,
+//! for feeding to the `tcpanaly` CLI (or to Wireshark).
+//!
+//! ```text
+//! gen_trace --impl "Linux 1.0" --bytes 102400 --rate 256000 \
+//!           --delay-ms 60 --loss-every 20 --seed 7 --out linux.pcap
+//! ```
+
+use tcpa_netsim::LossModel;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles::{all_profiles, profile_by_name};
+use tcpa_trace::{pcap_io, Duration};
+use tcpa_wire::TsResolution;
+
+const USAGE: &str = "usage: gen_trace [options]
+
+options:
+  --impl NAME       sending implementation (default: Generic Reno)
+  --receiver NAME   receiving implementation (default: Generic Reno)
+  --bytes N         transfer size (default: 102400)
+  --rate BPS        bottleneck rate in bits/sec (default: 1544000)
+  --delay-ms MS     one-way WAN delay (default: 30)
+  --loss-every N    drop every Nth data packet (default: none)
+  --seed N          simulation seed (default: 1)
+  --vantage V       'sender' or 'receiver' tap (default: sender)
+  --out FILE        output pcap (default: trace.pcap)
+  --list-impls      list implementations and exit
+";
+
+fn main() {
+    let mut sender = "Generic Reno".to_string();
+    let mut receiver = "Generic Reno".to_string();
+    let mut bytes: u64 = 102_400;
+    let mut path = PathSpec::default();
+    let mut seed: u64 = 1;
+    let mut vantage = "sender".to_string();
+    let mut out_file = "trace.pcap".to_string();
+
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, what: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("gen_trace: {what} requires a value\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--impl" => sender = next(&mut args, "--impl"),
+            "--receiver" => receiver = next(&mut args, "--receiver"),
+            "--bytes" => bytes = next(&mut args, "--bytes").parse().expect("--bytes"),
+            "--rate" => path.rate_bps = next(&mut args, "--rate").parse().expect("--rate"),
+            "--delay-ms" => {
+                path.one_way_delay =
+                    Duration::from_millis(next(&mut args, "--delay-ms").parse().expect("--delay-ms"))
+            }
+            "--loss-every" => {
+                path.loss_data =
+                    LossModel::Periodic(next(&mut args, "--loss-every").parse().expect("--loss-every"))
+            }
+            "--seed" => seed = next(&mut args, "--seed").parse().expect("--seed"),
+            "--vantage" => vantage = next(&mut args, "--vantage"),
+            "--out" => out_file = next(&mut args, "--out"),
+            "--list-impls" => {
+                for p in all_profiles() {
+                    println!("{}", p.name);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("gen_trace: unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let lookup = |name: &str| {
+        profile_by_name(name).unwrap_or_else(|| {
+            eprintln!("gen_trace: unknown implementation {name:?} (try --list-impls)");
+            std::process::exit(2);
+        })
+    };
+    let out = run_transfer(lookup(&sender), lookup(&receiver), &path, bytes, seed);
+    let trace = match vantage.as_str() {
+        "sender" => out.sender_trace(),
+        "receiver" => out.receiver_trace(),
+        other => {
+            eprintln!("gen_trace: vantage must be 'sender' or 'receiver', got {other}");
+            std::process::exit(2);
+        }
+    };
+    let file = std::fs::File::create(&out_file).expect("create output");
+    pcap_io::write_pcap(&trace, file, TsResolution::Micro, 0).expect("write pcap");
+    eprintln!(
+        "wrote {} ({} records; {} data pkts, {} retransmissions, {} drops, completed: {})",
+        out_file,
+        trace.len(),
+        out.sender_stats.data_packets_sent,
+        out.sender_stats.retransmissions,
+        out.truth.total_drops(),
+        out.completed,
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates one artifact of the paper; see DESIGN.md §5.
+fn main() {
+    print!("{}", tcpa_bench::scenarios::variants::run().render());
+}

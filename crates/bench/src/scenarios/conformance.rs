@@ -1,0 +1,152 @@
+//! The §2 companion: a \[CL94\]-style conformance matrix.
+//!
+//! Comer & Lin probed implementations for their initial retransmission
+//! timeouts, keep-alive strategies and zero-window probing; Dawson et
+//! al. added timer management and RST-on-give-up. The paper's point is
+//! that *passive traces carry the same evidence*; this scenario derives
+//! the whole matrix from traces alone.
+
+use crate::{Section, TextTable};
+use tcpa_netsim::LossModel;
+use tcpa_tcpsim::harness::{run_transfer, run_transfer_with, Extras, PathSpec};
+use tcpa_tcpsim::profiles;
+use tcpa_trace::{Connection, Duration, Time};
+use tcpanaly::handshake::analyze_handshake;
+
+/// Measures one implementation's connection-management behaviors from
+/// three targeted traces.
+struct Row {
+    name: &'static str,
+    initial_syn_rto: String,
+    syn_backoff: String,
+    zero_window: String,
+    keepalive: String,
+}
+
+fn probe(cfg: tcpa_tcpsim::TcpConfig) -> Row {
+    let name = cfg.name;
+
+    // (1) SYN retry schedule: lose the first two SYNs.
+    let mut path = PathSpec::default();
+    path.loss_data = LossModel::DropList(vec![0, 1]);
+    let out = run_transfer(cfg.clone(), profiles::reno(), &path, 8 * 1024, 900);
+    let conn = Connection::split(&out.sender_trace()).remove(0);
+    let (initial_syn_rto, syn_backoff) = match analyze_handshake(&conn) {
+        Some(h) if h.retries() > 0 => (
+            h.initial_rto
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            format!("{:?}", h.shape),
+        ),
+        _ => ("-".into(), "-".into()),
+    };
+
+    // (2) Zero-window probing against a frozen reader.
+    let mut receiver = profiles::reno();
+    receiver.app_read_rate = Some(0);
+    receiver.recv_window = 4 * 1460;
+    let extras = Extras {
+        quench_at: vec![],
+        horizon: Some(Time::from_secs(90)),
+        sender_pause: None,
+    };
+    let out = run_transfer_with(cfg.clone(), receiver, &PathSpec::default(), 32 * 1024, 901, &extras);
+    let zero_window = if out.sender_stats.zero_window_probes > 0 {
+        format!("probes ({}x)", out.sender_stats.zero_window_probes)
+    } else {
+        "none seen".into()
+    };
+
+    // (3) Keep-alives across a 30 s application pause (5 s interval
+    // configured so the behavior is observable in a short trace).
+    let mut ka = cfg.clone();
+    ka.keepalive_interval = Some(Duration::from_secs(5));
+    let extras = Extras {
+        quench_at: vec![],
+        horizon: None,
+        sender_pause: Some((8 * 1024, Duration::from_secs(30))),
+    };
+    let out = run_transfer_with(ka, profiles::reno(), &PathSpec::default(), 24 * 1024, 902, &extras);
+    let keepalive = if out.sender_stats.keepalives_sent > 0 {
+        format!("probes ({}x)", out.sender_stats.keepalives_sent)
+    } else {
+        "none seen".into()
+    };
+
+    Row {
+        name,
+        initial_syn_rto,
+        syn_backoff,
+        zero_window,
+        keepalive,
+    }
+}
+
+/// Runs the matrix over a representative profile subset.
+pub fn run() -> Section {
+    let subset = vec![
+        profiles::reno(),
+        profiles::tahoe(),
+        profiles::solaris_2_4(),
+        profiles::linux_1_0(),
+        profiles::trumpet_winsock(),
+    ];
+    let mut table = TextTable::new(&[
+        "implementation",
+        "initial SYN RTO",
+        "SYN backoff",
+        "zero-window",
+        "keep-alive",
+    ]);
+    let mut all_probed = true;
+    let mut exponential = 0;
+    for cfg in subset {
+        let row = probe(cfg);
+        if row.zero_window == "none seen" || row.keepalive == "none seen" {
+            all_probed = false;
+        }
+        if row.syn_backoff.contains("Exponential") {
+            exponential += 1;
+        }
+        table.row(vec![
+            row.name.into(),
+            row.initial_syn_rto,
+            row.syn_backoff,
+            row.zero_window,
+            row.keepalive,
+        ]);
+    }
+    Section {
+        id: "§2 companion".into(),
+        title: "Connection-management conformance from passive traces".into(),
+        paper_claim: "[CL94] actively probed initial RTOs, keep-alive strategies and \
+                      zero-window probing; [DJM97] added timer management and give-up \
+                      behavior. The paper argues passive trace analysis can recover \
+                      the same facts ('one can combine active techniques … with \
+                      automated analysis of traces of the results')."
+            .into(),
+        params: "Per implementation: (1) two lost SYNs expose the connection timer; \
+                 (2) a frozen reader exposes zero-window probing; (3) a 30 s \
+                 application pause with a 5 s keep-alive interval exposes keep-alives"
+            .into(),
+        body: table.render(),
+        measured: vec![
+            ("all implementations probe shut windows & idle peers".into(), all_probed.to_string()),
+            ("exponential SYN backoff".into(), format!("{exponential}/5")),
+        ],
+        verdict: if all_probed && exponential == 4 {
+            "REPRODUCED: the [CL94]/[DJM97] conformance matrix falls out of passive traces alone — including Trumpet's flat (non-backing-off) connection retry, the [St96] bug.".into()
+        } else {
+            format!("PARTIAL: probed={all_probed}, exponential={exponential}/5")
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn conformance_matrix_reproduces() {
+        let s = super::run();
+        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+    }
+}

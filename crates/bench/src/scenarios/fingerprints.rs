@@ -1,0 +1,113 @@
+//! §5/§6.1 — sorting candidate implementations into close / imperfect /
+//! clearly-incorrect fits: the confusion matrix.
+
+use crate::{Section, TextTable};
+use tcpa_netsim::LossModel;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles;
+use tcpa_trace::{Connection, Duration};
+use tcpanaly::fingerprint::{fingerprint_one, FitClass};
+
+/// The behaviorally-distant subset used for the matrix: each pair differs
+/// in a major mechanism, so a trace from one should reject the others.
+fn matrix_profiles() -> Vec<tcpa_tcpsim::TcpConfig> {
+    vec![
+        profiles::reno(),
+        profiles::tahoe(),
+        profiles::linux_1_0(),
+        profiles::solaris_2_4(),
+        profiles::trumpet_winsock(),
+    ]
+}
+
+/// Generates one discriminating trace per generator: a path with enough
+/// stress (loss + moderate RTT) that the major mechanisms all express.
+fn stress_path() -> PathSpec {
+    let mut path = PathSpec::default();
+    path.one_way_delay = Duration::from_millis(150);
+    path.loss_data = LossModel::Periodic(25);
+    path.queue_cap = 12;
+    path
+}
+
+/// Runs the matrix.
+pub fn confusion_matrix() -> Section {
+    let candidates = matrix_profiles();
+    let mut table = TextTable::new(&[
+        "trace \\ model",
+        "Reno",
+        "Tahoe",
+        "Linux1.0",
+        "Sol2.4",
+        "Trumpet",
+    ]);
+    let mut diagonal_close = 0usize;
+    let mut off_diag_incorrect = 0usize;
+    let mut off_diag_total = 0usize;
+
+    for gen in &candidates {
+        let out = run_transfer(gen.clone(), profiles::reno(), &stress_path(), 100 * 1024, 700);
+        let conn = Connection::split(&out.sender_trace()).remove(0);
+        let mut row = vec![gen.name.to_string()];
+        for (j, cand) in candidates.iter().enumerate() {
+            let fit = fingerprint_one(&conn, cand).map(|r| r.fit);
+            let mark = match fit {
+                Some(FitClass::Close) => "close",
+                Some(FitClass::Imperfect) => "imperf",
+                Some(FitClass::ClearlyIncorrect) => "WRONG",
+                None => "n/a",
+            };
+            let on_diag = cand.name == gen.name;
+            if on_diag && fit == Some(FitClass::Close) {
+                diagonal_close += 1;
+            }
+            if !on_diag {
+                off_diag_total += 1;
+                if fit == Some(FitClass::ClearlyIncorrect) {
+                    off_diag_incorrect += 1;
+                }
+            }
+            let _ = j;
+            row.push(mark.to_string());
+        }
+        table.row(row);
+    }
+
+    let n = candidates.len();
+    Section {
+        id: "§6.1".into(),
+        title: "Implementation fingerprinting (close / imperfect / clearly incorrect)".into(),
+        paper_claim: "tcpanaly runs all known implementations against a trace and \
+                      sorts them into close, imperfect and clearly-incorrect fits \
+                      using response-time statistics and window violations."
+            .into(),
+        params: "One 100 KB transfer per generator over a stressed path (300 ms RTT, \
+                 1-in-25 loss); every candidate replayed against every trace"
+            .into(),
+        body: table.render(),
+        measured: vec![
+            ("diagonal close fits".into(), format!("{diagonal_close}/{n}")),
+            (
+                "off-diagonal clearly-incorrect".into(),
+                format!("{off_diag_incorrect}/{off_diag_total}"),
+            ),
+        ],
+        verdict: if diagonal_close == n && off_diag_incorrect as f64 >= 0.7 * off_diag_total as f64 {
+            "REPRODUCED: every generator close-fits its own trace; behaviorally-distant candidates overwhelmingly rejected.".into()
+        } else {
+            format!(
+                "PARTIAL: diagonal {diagonal_close}/{n}, off-diagonal rejections \
+                 {off_diag_incorrect}/{off_diag_total}"
+            )
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matrix_reproduces() {
+        let s = super::confusion_matrix();
+        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+    }
+}

@@ -1,0 +1,34 @@
+//! Scenario builders — one per table/figure of the paper (DESIGN.md §5).
+
+pub mod ablation;
+pub mod calibration;
+pub mod conformance;
+pub mod figures;
+pub mod fingerprints;
+pub mod policy;
+pub mod table1;
+pub mod variants;
+
+use crate::Section;
+
+/// Every scenario in paper order, for `repro_all`.
+pub fn all() -> Vec<Section> {
+    vec![
+        table1::run(),
+        figures::fig1(),
+        figures::fig2(),
+        figures::fig3(),
+        figures::fig4(),
+        figures::fig5(),
+        calibration::drops(),
+        calibration::resequencing(),
+        calibration::time_travel(),
+        calibration::quench(),
+        fingerprints::confusion_matrix(),
+        policy::ack_policy(),
+        policy::response_delay(),
+        variants::run(),
+        conformance::run(),
+        ablation::run(),
+    ]
+}

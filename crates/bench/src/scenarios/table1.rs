@@ -1,0 +1,149 @@
+//! Table 1 — the corpus of TCP implementations studied.
+//!
+//! The paper's counts (3,394 BSDI sender traces, …) inventory a 1995
+//! measurement campaign; here we *generate* a scaled corpus — N sender-
+//! side and N receiver-side traces per implementation over randomized
+//! paths — and verify that every trace is analyzable and self-consistent
+//! (completes, and its sender trace fits its own profile), reproducing
+//! the table's structure: implementation × #sender × #receiver × lineage.
+
+use crate::{Section, TextTable};
+use tcpa_netsim::rng::SplitMix64;
+use tcpa_netsim::LossModel;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles::all_profiles;
+use tcpa_trace::{Connection, Duration};
+use tcpanaly::fingerprint::{fingerprint_one, FitClass};
+
+/// Traces generated per implementation per direction. The paper's corpus
+/// is ~40,000 traces; the default here keeps `repro_all` quick while
+/// exercising every implementation on varied paths.
+pub const TRACES_PER_IMPL: usize = 6;
+
+/// A randomized mid-90s path drawn from a seeded generator.
+fn random_path(rng: &mut SplitMix64) -> PathSpec {
+    let rates = [64_000u64, 128_000, 256_000, 1_544_000, 10_000_000];
+    let delays = [5i64, 15, 30, 60, 120];
+    let mut path = PathSpec::default();
+    path.rate_bps = rates[rng.next_below(rates.len() as u64) as usize];
+    path.one_way_delay = Duration::from_millis(delays[rng.next_below(delays.len() as u64) as usize]);
+    path.queue_cap = 8 + rng.next_below(24) as usize;
+    if rng.chance(0.3) {
+        path.loss_data = LossModel::Bernoulli(0.005 + rng.next_f64() * 0.02);
+    }
+    path
+}
+
+/// Generates the corpus and renders the table.
+pub fn run() -> Section {
+    let mut rng = SplitMix64::new(0x7ab1e1);
+    let mut table = TextTable::new(&[
+        "Implementation",
+        "# Sender",
+        "# Receiver",
+        "Lineage",
+        "self-fit",
+    ]);
+    let mut total_sender = 0usize;
+    let mut total_receiver = 0usize;
+    let mut total_selffit = 0usize;
+    let mut total_analyzed = 0usize;
+
+    for cfg in all_profiles() {
+        let mut sender_ok = 0;
+        let mut receiver_ok = 0;
+        let mut selffit = 0;
+        for k in 0..TRACES_PER_IMPL {
+            let path = random_path(&mut rng);
+            let seed = 0x1000 + k as u64;
+            // Sender-side trace: this implementation ships the data.
+            let out = run_transfer(
+                cfg.clone(),
+                tcpa_tcpsim::profiles::reno(),
+                &path,
+                64 * 1024,
+                seed,
+            );
+            if out.completed {
+                sender_ok += 1;
+                let conn = Connection::split(&out.sender_trace()).remove(0);
+                total_analyzed += 1;
+                if let Some(fit) = fingerprint_one(&conn, &cfg) {
+                    if fit.fit == FitClass::Close {
+                        selffit += 1;
+                    }
+                }
+            }
+            // Receiver-side trace: this implementation consumes the data.
+            let out = run_transfer(
+                tcpa_tcpsim::profiles::reno(),
+                cfg.clone(),
+                &path,
+                64 * 1024,
+                seed + 7,
+            );
+            if out.completed {
+                receiver_ok += 1;
+            }
+        }
+        total_sender += sender_ok;
+        total_receiver += receiver_ok;
+        total_selffit += selffit;
+        table.row(vec![
+            cfg.name.to_string(),
+            sender_ok.to_string(),
+            receiver_ok.to_string(),
+            cfg.lineage.to_string(),
+            format!("{selffit}/{sender_ok}"),
+        ]);
+    }
+    table.row(vec![
+        "Total".into(),
+        total_sender.to_string(),
+        total_receiver.to_string(),
+        String::new(),
+        format!("{total_selffit}"),
+    ]);
+
+    let n_impls = all_profiles().len();
+    Section {
+        id: "Table 1".into(),
+        title: "TCP implementations studied".into(),
+        paper_claim: "8 main implementations (plus contributed Windows 95/NT, \
+                      Trumpet/Winsock, Linux 2.0), 20,034 sender and 20,043 \
+                      receiver traces; lineages Tahoe / Reno / independent."
+            .into(),
+        params: format!(
+            "{TRACES_PER_IMPL} sender + {TRACES_PER_IMPL} receiver traces per \
+             implementation ({n_impls} implementations) over seeded random paths \
+             (64 kb/s – 10 Mb/s, 10–240 ms RTT, optional loss)"
+        ),
+        body: table.render(),
+        measured: vec![
+            ("total sender traces".into(), total_sender.to_string()),
+            ("total receiver traces".into(), total_receiver.to_string()),
+            (
+                "sender traces self-fitting their profile".into(),
+                format!("{total_selffit}/{total_analyzed}"),
+            ),
+        ],
+        verdict: if total_sender == n_impls * TRACES_PER_IMPL
+            && total_selffit as f64 >= 0.9 * total_analyzed as f64
+        {
+            "REPRODUCED: full implementation × direction × lineage corpus; sender traces overwhelmingly self-fit.".into()
+        } else {
+            format!(
+                "PARTIAL: {total_sender} sender traces, {total_selffit}/{total_analyzed} self-fit"
+            )
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_reproduces() {
+        let s = super::run();
+        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+    }
+}

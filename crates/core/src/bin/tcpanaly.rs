@@ -1,0 +1,209 @@
+//! `tcpanaly` — the command-line analyzer, as the paper shipped it.
+//!
+//! ```text
+//! tcpanaly [--sender|--receiver] [--impl NAME] [--handshake]
+//!          [--receiver-fingerprint] [--list-impls] TRACE.pcap...
+//! ```
+//!
+//! Reads tcpdump-format captures, calibrates them (§3), and reports the
+//! per-connection implementation fingerprint (§5/§6) and receiver audit
+//! (§7/§9). With `--impl NAME` it checks a single candidate and prints
+//! the full disagreement detail instead of the ranking.
+
+use std::process::ExitCode;
+use tcpa_tcpsim::profiles::{all_profiles, profile_by_name};
+use tcpa_trace::pcap_io;
+use tcpa_trace::Connection;
+use tcpanaly::fingerprint::{fingerprint_one, fingerprint_receiver};
+use tcpanaly::handshake::analyze_handshake;
+use tcpanaly::Analyzer;
+
+struct Options {
+    vantage: Vantage,
+    implementation: Option<String>,
+    handshake: bool,
+    receiver_fp: bool,
+    files: Vec<String>,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Vantage {
+    Sender,
+    Receiver,
+    Unknown,
+}
+
+const USAGE: &str = "usage: tcpanaly [options] TRACE.pcap...
+
+options:
+  --sender                trace was captured at the data sender (default: auto-detect)
+  --receiver              trace was captured at the receiver
+  --impl NAME             check one implementation instead of ranking all
+  --handshake             also report the SYN-retry schedule
+  --receiver-fingerprint  also rank receiver-side (acking policy) candidates
+  --list-impls            list known implementations and exit
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        vantage: Vantage::Unknown,
+        implementation: None,
+        handshake: false,
+        receiver_fp: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sender" => opts.vantage = Vantage::Sender,
+            "--receiver" => opts.vantage = Vantage::Receiver,
+            "--impl" => {
+                let name = args.next().ok_or("--impl requires a name")?;
+                opts.implementation = Some(name);
+            }
+            "--handshake" => opts.handshake = true,
+            "--receiver-fingerprint" => opts.receiver_fp = true,
+            "--list-impls" => {
+                for p in all_profiles() {
+                    println!("{:<22} ({})", p.name, p.lineage);
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no trace files given".into());
+    }
+    Ok(opts)
+}
+
+fn analyze_file(path: &str, opts: &Options) -> Result<(), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let (trace, skipped) =
+        pcap_io::read_pcap(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    println!("== {path}: {} records ({skipped} non-TCP skipped)", trace.len());
+
+    let analyzer = match opts.vantage {
+        Vantage::Sender => Analyzer::at_sender(),
+        Vantage::Receiver => Analyzer::at_receiver(),
+        Vantage::Unknown => {
+            let a = Analyzer::auto(&trace);
+            println!(
+                "vantage: auto-detected {:?} (override with --sender/--receiver)",
+                a.vantage()
+            );
+            a
+        }
+    };
+
+    if let Some(name) = &opts.implementation {
+        let cfg = profile_by_name(name)
+            .ok_or_else(|| format!("unknown implementation {name:?}; try --list-impls"))?;
+        let (clean, cal) = tcpanaly::Calibrator::new().calibrate(&trace);
+        if !cal.is_clean() {
+            println!(
+                "calibration: {} dups removed, {} time travel, {} reseq, {} drop evidence",
+                cal.duplicates.len(),
+                cal.time_travel.len(),
+                cal.resequencing.len(),
+                cal.drop_evidence.len()
+            );
+        }
+        for conn in Connection::split(&clean) {
+            println!("-- connection {} -> {}", conn.sender, conn.receiver);
+            match fingerprint_one(&conn, &cfg) {
+                None => println!("   no analyzable bulk data"),
+                Some(fit) => {
+                    let mut delays = fit.analysis.response_delays.clone();
+                    println!(
+                        "   {}: {} — {} issues, delays p50 {} p90 {}",
+                        cfg.name,
+                        fit.fit,
+                        fit.analysis.issues.len(),
+                        delays.median().map(|d| d.to_string()).unwrap_or_default(),
+                        delays
+                            .percentile(90.0)
+                            .map(|d| d.to_string())
+                            .unwrap_or_default()
+                    );
+                    for issue in fit.analysis.issues.iter().take(10) {
+                        println!("   {:?} @{}: {}", issue.kind, issue.time, issue.detail);
+                    }
+                    if fit.analysis.issues.len() > 10 {
+                        println!("   … {} more", fit.analysis.issues.len() - 10);
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    let report = analyzer.analyze(&trace);
+    print!("{}", report.render());
+
+    if opts.handshake || opts.receiver_fp {
+        let (clean, _) = tcpanaly::Calibrator::new().calibrate(&trace);
+        for conn in Connection::split(&clean) {
+            if opts.handshake {
+                match analyze_handshake(&conn) {
+                    Some(h) => println!(
+                        "handshake {} -> {}: {} retries, initial RTO {}, backoff {:?}",
+                        conn.sender,
+                        conn.receiver,
+                        h.retries(),
+                        h.initial_rto
+                            .map(|d| d.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        h.shape
+                    ),
+                    None => println!("handshake: no SYN captured"),
+                }
+            }
+            if opts.receiver_fp {
+                println!("receiver-side candidates (consistent first):");
+                for fit in fingerprint_receiver(&conn).iter().take(8) {
+                    println!(
+                        "  {:<22} {}",
+                        fit.name,
+                        if fit.consistent {
+                            "consistent".to_string()
+                        } else {
+                            format!("contradicted: {}", fit.contradictions.join("; "))
+                        }
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("tcpanaly: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    for file in &opts.files {
+        if let Err(e) = analyze_file(file, &opts) {
+            eprintln!("tcpanaly: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,96 @@
+//! Trace calibration (§3): finding and coping with measurement error
+//! before any behavioral conclusion is drawn.
+
+pub mod drops;
+pub mod dups;
+pub mod reseq;
+pub mod timing;
+pub mod vantage;
+
+use tcpa_trace::{Connection, Trace};
+
+pub use drops::{DropCheck, DropEvidence, Vantage};
+pub use dups::DupRemoval;
+pub use reseq::ReseqEvidence;
+pub use timing::TimeTravel;
+pub use vantage::{infer_vantage, VantageInference};
+
+/// Aggregate calibration result for one trace.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationReport {
+    /// Measurement duplicates found and removed (§3.1.2).
+    pub duplicates: Vec<DupRemoval>,
+    /// Timestamp decreases (§3.1.4).
+    pub time_travel: Vec<TimeTravel>,
+    /// Resequencing evidence (§3.1.3).
+    pub resequencing: Vec<ReseqEvidence>,
+    /// Filter-drop evidence from the self-consistency checks (§3.1.1).
+    pub drop_evidence: Vec<DropEvidence>,
+}
+
+impl CalibrationReport {
+    /// `true` when no measurement error of any kind was detected.
+    pub fn is_clean(&self) -> bool {
+        self.duplicates.is_empty()
+            && self.time_travel.is_empty()
+            && self.resequencing.is_empty()
+            && self.drop_evidence.is_empty()
+    }
+
+    /// `true` when the trace's event *ordering* cannot be trusted for
+    /// cause-and-effect analysis (§3.1.3: resequencing "destroys any
+    /// ready assessment of cause-and-effect").
+    pub fn ordering_untrustworthy(&self) -> bool {
+        !self.resequencing.is_empty() || !self.time_travel.is_empty()
+    }
+}
+
+/// Runs all calibration stages on a trace, returning the *cleaned* trace
+/// (duplicates removed) alongside the report.
+#[derive(Debug, Clone, Default)]
+pub struct Calibrator {
+    /// Where the filter sat; gates the vantage-specific drop checks.
+    pub vantage: Vantage,
+}
+
+impl Calibrator {
+    /// A calibrator with an unknown vantage point (only vantage-neutral
+    /// checks run).
+    pub fn new() -> Calibrator {
+        Calibrator::default()
+    }
+
+    /// A calibrator for a trace captured at the data sender.
+    pub fn at_sender() -> Calibrator {
+        Calibrator {
+            vantage: Vantage::Sender,
+        }
+    }
+
+    /// A calibrator for a trace captured at the receiver.
+    pub fn at_receiver() -> Calibrator {
+        Calibrator {
+            vantage: Vantage::Receiver,
+        }
+    }
+
+    /// Calibrates a trace: removes measurement duplicates, then runs every
+    /// detector on the cleaned trace.
+    pub fn calibrate(&self, trace: &Trace) -> (Trace, CalibrationReport) {
+        let (clean, duplicates) = dups::remove_duplicates(trace);
+        let time_travel = timing::detect_time_travel(&clean);
+        let mut report = CalibrationReport {
+            duplicates,
+            time_travel,
+            resequencing: Vec::new(),
+            drop_evidence: Vec::new(),
+        };
+        for conn in Connection::split(&clean) {
+            report
+                .resequencing
+                .extend(reseq::detect_resequencing(&conn));
+            report.drop_evidence.extend(drops::detect_drops(&conn, self.vantage));
+        }
+        (clean, report)
+    }
+}

@@ -1,0 +1,211 @@
+//! Connection-establishment analysis: SYN retransmission timers.
+//!
+//! The paper's predecessors probed exactly this: Comer & Lin's active
+//! probing measured initial retransmission timeouts \[CL94\], and Stevens
+//! found remote TCPs that "did not correctly back off their
+//! connection-establishment retry timer" (§2). Passive traces carry the
+//! same evidence whenever a SYN or SYN-ack goes unanswered: the spacing
+//! of the retries *is* the connection-establishment timer.
+//!
+//! This module extracts the retry schedule from a trace and checks it
+//! against a candidate [`TcpConfig`]'s `syn_rto`: the first gap estimates
+//! the initial value, and gap ratios reveal whether the timer backs off
+//! exponentially (per the standard), stays flat (Stevens's broken
+//! clients), or restarts.
+
+use tcpa_tcpsim::config::TcpConfig;
+use tcpa_trace::{Connection, Dir, Duration, Time};
+
+/// How the retry schedule evolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffShape {
+    /// Gaps grow multiplicatively (standard exponential backoff).
+    Exponential,
+    /// Gaps stay roughly constant — §2's "did not correctly back off".
+    Flat,
+    /// Gaps shrink or wander; no coherent scheme.
+    Erratic,
+    /// Fewer than two gaps: shape unknowable.
+    Unknown,
+}
+
+/// Extracted SYN-retry behavior for the connection initiator.
+#[derive(Debug, Clone)]
+pub struct HandshakeAnalysis {
+    /// Times each initial SYN (same sequence number) was sent.
+    pub syn_times: Vec<Time>,
+    /// Gaps between successive SYNs.
+    pub gaps: Vec<Duration>,
+    /// The first retry gap — the initial connection RTO.
+    pub initial_rto: Option<Duration>,
+    /// The backoff shape.
+    pub shape: BackoffShape,
+}
+
+impl HandshakeAnalysis {
+    /// Number of retransmitted SYNs.
+    pub fn retries(&self) -> usize {
+        self.syn_times.len().saturating_sub(1)
+    }
+
+    /// Whether the observed schedule is consistent with `cfg`'s
+    /// connection timer: the first gap within a factor of two of
+    /// `syn_rto` (coarse timers round heavily) and, when more gaps exist,
+    /// a growing schedule.
+    pub fn consistent_with(&self, cfg: &TcpConfig) -> bool {
+        match self.initial_rto {
+            None => true, // no retries: nothing to contradict
+            Some(first) => {
+                let expect = cfg.syn_rto.as_nanos() as f64;
+                let got = first.as_nanos() as f64;
+                let ratio = got / expect;
+                (0.5..=2.5).contains(&ratio) && self.shape != BackoffShape::Erratic
+            }
+        }
+    }
+}
+
+/// Extracts the initiator's SYN schedule from a connection. Returns
+/// `None` when the trace contains no SYN from the data sender.
+pub fn analyze_handshake(conn: &Connection) -> Option<HandshakeAnalysis> {
+    let syn_times: Vec<Time> = conn
+        .in_dir(Dir::SenderToReceiver)
+        .filter(|r| r.tcp.flags.syn() && !r.tcp.flags.ack())
+        .map(|r| r.ts)
+        .collect();
+    if syn_times.is_empty() {
+        return None;
+    }
+    let gaps: Vec<Duration> = syn_times.windows(2).map(|w| w[1] - w[0]).collect();
+    let initial_rto = gaps.first().copied();
+    let shape = classify_shape(&gaps);
+    Some(HandshakeAnalysis {
+        syn_times,
+        gaps,
+        initial_rto,
+        shape,
+    })
+}
+
+fn classify_shape(gaps: &[Duration]) -> BackoffShape {
+    if gaps.len() < 2 {
+        return BackoffShape::Unknown;
+    }
+    let ratios: Vec<f64> = gaps
+        .windows(2)
+        .map(|w| w[1].as_nanos() as f64 / (w[0].as_nanos() as f64).max(1.0))
+        .collect();
+    if ratios.iter().all(|&r| r >= 1.5) {
+        BackoffShape::Exponential
+    } else if ratios.iter().all(|&r| (0.7..1.5).contains(&r)) {
+        BackoffShape::Flat
+    } else {
+        BackoffShape::Erratic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpa_tcpsim::profiles;
+    use tcpa_trace::{Trace, TraceRecord};
+    use tcpa_wire::{IpProtocol, Ipv4Addr, Ipv4Repr, SeqNum, TcpFlags, TcpRepr};
+
+    fn syn_at(ts_ms: i64) -> TraceRecord {
+        TraceRecord {
+            ts: Time::from_millis(ts_ms),
+            ip: Ipv4Repr {
+                src: Ipv4Addr::from_host_id(1),
+                dst: Ipv4Addr::from_host_id(2),
+                protocol: IpProtocol::Tcp,
+                ttl: 64,
+                ident: 0,
+                payload_len: 20,
+            },
+            tcp: TcpRepr {
+                seq: SeqNum(1000),
+                flags: TcpFlags::SYN,
+                ..TcpRepr::new(5001, 5002)
+            },
+            payload_len: 0,
+            checksum_ok: Some(true),
+        }
+    }
+
+    fn data_at(ts_ms: i64) -> TraceRecord {
+        let mut r = syn_at(ts_ms);
+        r.tcp.flags = TcpFlags::ACK;
+        r.tcp.seq = SeqNum(1001);
+        r.payload_len = 512;
+        r.ip.payload_len = 532;
+        r
+    }
+
+    fn conn(records: Vec<TraceRecord>) -> Connection {
+        let trace: Trace = records.into_iter().collect();
+        Connection::split(&trace).remove(0)
+    }
+
+    #[test]
+    fn exponential_schedule_extracted() {
+        let c = conn(vec![
+            syn_at(0),
+            syn_at(6000),
+            syn_at(18_000),
+            syn_at(42_000),
+            data_at(43_000),
+        ]);
+        let h = analyze_handshake(&c).unwrap();
+        assert_eq!(h.retries(), 3);
+        assert_eq!(h.initial_rto, Some(Duration::from_secs(6)));
+        assert_eq!(h.shape, BackoffShape::Exponential);
+        assert!(h.consistent_with(&profiles::reno()));
+    }
+
+    #[test]
+    fn flat_schedule_flagged() {
+        // Stevens's broken clients: retries at a constant interval.
+        let c = conn(vec![
+            syn_at(0),
+            syn_at(1000),
+            syn_at(2000),
+            syn_at(3000),
+            data_at(3500),
+        ]);
+        let h = analyze_handshake(&c).unwrap();
+        assert_eq!(h.shape, BackoffShape::Flat);
+        assert!(
+            !h.consistent_with(&profiles::reno()),
+            "1 s flat retries are not BSD's 6 s doubling timer"
+        );
+    }
+
+    #[test]
+    fn no_retries_is_vacuously_consistent() {
+        let c = conn(vec![syn_at(0), data_at(100)]);
+        let h = analyze_handshake(&c).unwrap();
+        assert_eq!(h.retries(), 0);
+        assert_eq!(h.shape, BackoffShape::Unknown);
+        assert!(h.consistent_with(&profiles::reno()));
+        assert!(h.consistent_with(&profiles::solaris_2_4()));
+    }
+
+    #[test]
+    fn missing_syn_yields_none() {
+        let c = conn(vec![data_at(0), data_at(10)]);
+        assert!(analyze_handshake(&c).is_none());
+    }
+
+    #[test]
+    fn erratic_schedule_rejected() {
+        let c = conn(vec![
+            syn_at(0),
+            syn_at(6000),
+            syn_at(7000), // shrank: no sane timer does this
+            data_at(8000),
+        ]);
+        let h = analyze_handshake(&c).unwrap();
+        assert_eq!(h.shape, BackoffShape::Erratic);
+        assert!(!h.consistent_with(&profiles::reno()));
+    }
+}

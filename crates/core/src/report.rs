@@ -1,0 +1,241 @@
+//! The one-call analyzer façade and its aggregate report.
+
+use crate::calibrate::{CalibrationReport, Calibrator, Vantage};
+use crate::fingerprint::{fingerprint, fingerprint_receiver, FingerprintResult, FitClass, ReceiverFit};
+use crate::handshake::{analyze_handshake, HandshakeAnalysis};
+use crate::receiver::{analyze_receiver, AckClass, ReceiverAnalysis};
+use tcpa_trace::{Connection, Trace};
+
+/// Everything tcpanaly concludes about one trace.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Per-connection results, in first-seen order.
+    pub connections: Vec<ConnectionReport>,
+    /// Trace-level calibration findings (§3).
+    pub calibration: CalibrationReport,
+}
+
+/// Results for a single connection.
+#[derive(Debug)]
+pub struct ConnectionReport {
+    /// The connection's endpoints, rendered.
+    pub description: String,
+    /// Candidate implementations ranked by fit (§5, §6.1); empty if the
+    /// connection carried no analyzable bulk data.
+    pub fingerprint: Vec<FingerprintResult>,
+    /// Receiver-side analysis (§7, §9), when data flowed.
+    pub receiver: Option<ReceiverAnalysis>,
+    /// Receiver-side implementation candidates, consistent first (only
+    /// from a receiver vantage).
+    pub receiver_fingerprint: Vec<ReceiverFit>,
+    /// Connection-establishment (SYN retry) analysis.
+    pub handshake: Option<HandshakeAnalysis>,
+    /// Trace-derived accounting (packet/byte/retransmission counts).
+    pub stats: Option<tcpa_trace::ConnStats>,
+}
+
+impl ConnectionReport {
+    /// The best-fitting implementation name, if any candidate was close.
+    pub fn best_fit(&self) -> Option<&'static str> {
+        self.fingerprint
+            .first()
+            .filter(|r| r.fit == FitClass::Close)
+            .map(|r| r.name)
+    }
+}
+
+/// The analyzer façade: calibrate, split, fingerprint, analyze.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    vantage: Vantage,
+}
+
+impl Analyzer {
+    /// An analyzer with an unknown vantage point.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// Declares the trace captured at the data sender.
+    pub fn at_sender() -> Analyzer {
+        Analyzer {
+            vantage: Vantage::Sender,
+        }
+    }
+
+    /// Declares the trace captured at the receiver.
+    pub fn at_receiver() -> Analyzer {
+        Analyzer {
+            vantage: Vantage::Receiver,
+        }
+    }
+
+    /// Infers the vantage point from the trace itself (§3.2): whichever
+    /// endpoint answers its stimuli within sub-milliseconds is the one
+    /// the filter sat beside. Falls back to unknown when ambiguous.
+    pub fn auto(trace: &Trace) -> Analyzer {
+        let (clean, _) = Calibrator::new().calibrate(trace);
+        let mut votes = (0usize, 0usize);
+        for conn in Connection::split(&clean) {
+            match crate::calibrate::infer_vantage(&conn).vantage {
+                Vantage::Sender => votes.0 += 1,
+                Vantage::Receiver => votes.1 += 1,
+                Vantage::Unknown => {}
+            }
+        }
+        let vantage = if votes.0 > votes.1 {
+            Vantage::Sender
+        } else if votes.1 > votes.0 {
+            Vantage::Receiver
+        } else {
+            Vantage::Unknown
+        };
+        Analyzer { vantage }
+    }
+
+    /// The vantage this analyzer assumes.
+    pub fn vantage(&self) -> Vantage {
+        self.vantage
+    }
+
+    /// Runs the full pipeline on a trace.
+    pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
+        let calibrator = Calibrator {
+            vantage: self.vantage,
+        };
+        let (clean, calibration) = calibrator.calibrate(trace);
+        let connections = Connection::split(&clean)
+            .into_iter()
+            .map(|conn| self.analyze_connection(&conn))
+            .collect();
+        AnalysisReport {
+            connections,
+            calibration,
+        }
+    }
+
+    fn analyze_connection(&self, conn: &Connection) -> ConnectionReport {
+        let fingerprint = match self.vantage {
+            // Sender behavior can only be judged from a vantage at or
+            // near the sender (§6.1); from elsewhere, network delay
+            // between filter and sender poisons the response delays.
+            Vantage::Receiver => Vec::new(),
+            _ => fingerprint(conn),
+        };
+        let receiver = match self.vantage {
+            Vantage::Sender => None,
+            _ => analyze_receiver(conn),
+        };
+        let receiver_fingerprint = match self.vantage {
+            Vantage::Receiver => fingerprint_receiver(conn),
+            _ => Vec::new(),
+        };
+        ConnectionReport {
+            description: format!("{} -> {}", conn.sender, conn.receiver),
+            fingerprint,
+            receiver,
+            receiver_fingerprint,
+            handshake: analyze_handshake(conn),
+            stats: tcpa_trace::ConnStats::of(conn),
+        }
+    }
+}
+
+impl AnalysisReport {
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let c = &self.calibration;
+        out.push_str("== Calibration (§3) ==\n");
+        out.push_str(&format!(
+            "  measurement duplicates removed: {}\n  time travel instances: {}\n  resequencing evidence: {}\n  filter-drop evidence: {}\n",
+            c.duplicates.len(),
+            c.time_travel.len(),
+            c.resequencing.len(),
+            c.drop_evidence.len()
+        ));
+        if c.ordering_untrustworthy() {
+            out.push_str("  !! event ordering untrustworthy; cause-and-effect suspect\n");
+        }
+        for conn in &self.connections {
+            out.push_str(&format!("\n== Connection {} ==\n", conn.description));
+            if let Some(st) = &conn.stats {
+                out.push_str(&format!(
+                    "  {} data pkts ({} retransmitted, {:.0}%), {} unique bytes in {}, goodput {:.1} KB/s\n",
+                    st.data_packets,
+                    st.retransmitted_packets,
+                    100.0 * st.retransmission_ratio(),
+                    st.unique_bytes,
+                    st.elapsed(),
+                    st.goodput() / 1000.0,
+                ));
+            }
+            if conn.fingerprint.is_empty() {
+                out.push_str("  (no sender-side fingerprint from this vantage)\n");
+            }
+            for r in conn.fingerprint.iter().take(6) {
+                let mut delays = r.analysis.response_delays.clone();
+                out.push_str(&format!(
+                    "  {:<22} {:<18} issues {:>2}  delays p50 {} p90 {}\n",
+                    r.name,
+                    r.fit.to_string(),
+                    r.analysis.issues.len(),
+                    delays
+                        .median()
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    delays
+                        .percentile(90.0)
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                ));
+            }
+            if let Some(rx) = &conn.receiver {
+                out.push_str(&format!(
+                    "  receiver: {} delayed / {} normal / {} stretch / {} dup / {} gratuitous acks; policy {:?}\n",
+                    rx.count(AckClass::Delayed),
+                    rx.count(AckClass::Normal),
+                    rx.count(AckClass::Stretch),
+                    rx.count(AckClass::Duplicate),
+                    rx.count(AckClass::Gratuitous),
+                    rx.policy,
+                ));
+                if !rx.corrupt_arrivals.is_empty() {
+                    out.push_str(&format!(
+                        "  inferred corrupt arrivals: {}\n",
+                        rx.corrupt_arrivals.len()
+                    ));
+                }
+            }
+            if !conn.receiver_fingerprint.is_empty() {
+                let consistent: Vec<&str> = conn
+                    .receiver_fingerprint
+                    .iter()
+                    .filter(|f| f.consistent)
+                    .map(|f| f.name)
+                    .collect();
+                out.push_str(&format!(
+                    "  receiver-side consistent candidates: {}\n",
+                    if consistent.is_empty() {
+                        "(none)".to_string()
+                    } else {
+                        consistent.join(", ")
+                    }
+                ));
+            }
+            if let Some(h) = &conn.handshake {
+                if h.retries() > 0 {
+                    out.push_str(&format!(
+                        "  handshake: {} SYN retries, initial RTO {}, backoff {:?}\n",
+                        h.retries(),
+                        h.initial_rto
+                            .map(|d| d.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        h.shape
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

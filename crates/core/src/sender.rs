@@ -1,0 +1,1237 @@
+//! Sender-behavior analysis (§6): the data-liberation replay engine.
+//!
+//! Given one connection's trace (captured at or near the sender) and a
+//! candidate implementation's [`TcpConfig`], the replay walks the trace
+//! maintaining the candidate's congestion state exactly as the real TCP
+//! would have, using the same pure rules the simulator runs
+//! ([`tcpa_tcpsim::congestion`]). Each incoming ack may raise the
+//! *permitted ceiling* — a **liberation** (§6.1). Each outgoing data
+//! packet is then either:
+//!
+//! * matched to the earliest liberation that allows it — the gap is its
+//!   **response delay**;
+//! * classified as a retransmission with an identifiable cause (timeout,
+//!   fast retransmit, the §8.5 burst, the §8.6 odd Solaris retransmit,
+//!   go-back-N refill after a cut) — the per-config causes *are* the
+//!   coded implementation knowledge;
+//! * or flagged: a **window violation** (sent beyond the ceiling), an
+//!   **unexplained retransmission**, or a **lull** (sent absurdly late).
+//!
+//! A trace that fits its true implementation produces small response
+//! delays and no flags; a wrong candidate produces violations or
+//! unexplained retransmissions (§6.1's close / imperfect / clearly
+//! incorrect sorting builds on exactly these outputs).
+//!
+//! §6.2's implicit-state inferences are integrated: the *sender window*
+//! (detected in a first replay, applied in a second) and unseen ICMP
+//! *source quench* (a lull whose aftermath looks like a fresh slow
+//! start).
+
+use tcpa_tcpsim::config::{FastRecovery, QuenchResponse, TcpConfig};
+use tcpa_tcpsim::congestion::CcState;
+use tcpa_tcpsim::rtt::RttEstimator;
+use tcpa_trace::{Connection, Dir, Duration, Summary, Time, TraceRecord};
+use tcpa_wire::SeqNum;
+
+/// How far apart a cause and effect may be recorded and still be
+/// attributed to measurement vantage rather than misbehavior (§3.2).
+const EPSILON: Duration = Duration::from_millis(2);
+/// A response delay beyond this is a lull (§5: "sent only after an
+/// apparently excessive delay").
+const LULL_THRESHOLD: Duration = Duration::from_millis(250);
+/// Burst-continuation window: retransmissions this close to a burst
+/// trigger belong to the same burst.
+const BURST_WINDOW: Duration = Duration::from_millis(50);
+
+/// Cause assigned to an observed retransmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetxCause {
+    /// Retransmission timeout (gap consistent with the config's RTO
+    /// floor).
+    Timeout,
+    /// Fast retransmit at the dup-ack threshold.
+    FastRetransmit,
+    /// §8.5: retransmission already on the first duplicate ack.
+    EarlyDupAck,
+    /// §8.5: part of a retransmit-everything burst.
+    BurstContinuation,
+    /// §8.6: the odd Solaris retransmission of the segment just above a
+    /// liberating ack.
+    OddRetransmitAfterAck,
+    /// Go-back-N refill following a window collapse.
+    RefillAfterCut,
+}
+
+/// A problem the replay could not reconcile with the candidate config.
+#[derive(Debug, Clone)]
+pub struct SenderIssue {
+    /// What kind of problem.
+    pub kind: SenderIssueKind,
+    /// Index of the offending record within the connection.
+    pub index: usize,
+    /// When it happened.
+    pub time: Time,
+    /// Explanation.
+    pub detail: String,
+}
+
+/// The kinds of replay disagreement (§6.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SenderIssueKind {
+    /// Data sent beyond the candidate's permitted ceiling.
+    WindowViolation,
+    /// A retransmission no rule of the candidate explains.
+    UnexplainedRetransmission,
+    /// Data sent absurdly long after its liberation.
+    Lull,
+}
+
+/// Result of replaying one connection against one candidate.
+#[derive(Debug, Clone)]
+pub struct SenderAnalysis {
+    /// The candidate's name.
+    pub config_name: &'static str,
+    /// Response delays of new-data sends matched to liberations.
+    pub response_delays: Summary,
+    /// Violations, unexplained retransmissions and lulls.
+    pub issues: Vec<SenderIssue>,
+    /// Violations that an ack recorded ≤ ε later cures — evidence of
+    /// filter resequencing, not misbehavior (they are *not* in `issues`).
+    pub reseq_cured_violations: usize,
+    /// Inferred sender window (socket buffer), if one was limiting
+    /// (§6.2).
+    pub inferred_sender_window: Option<u32>,
+    /// Inferred unseen source-quench arrival times (§6.2).
+    pub inferred_quenches: Vec<Time>,
+    /// One-byte zero-window probes recognized (persist timer traffic;
+    /// never window violations).
+    pub zero_window_probes: usize,
+    /// Data packets observed (sender → receiver, payload > 0).
+    pub data_packets: usize,
+    /// Of those, retransmissions.
+    pub retransmissions: usize,
+    /// Cause tally for retransmissions.
+    pub retx_causes: Vec<(RetxCause, usize)>,
+    /// MSS used for the candidate's window arithmetic.
+    pub cwnd_mss: u32,
+}
+
+impl SenderAnalysis {
+    /// Count of hard disagreements (violations + unexplained retx).
+    pub fn hard_issues(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| i.kind != SenderIssueKind::Lull)
+            .count()
+    }
+
+    /// Count of lulls.
+    pub fn lulls(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| i.kind == SenderIssueKind::Lull)
+            .count()
+    }
+}
+
+/// Tunable design choices of the replay — exposed so their contribution
+/// can be measured (the ablation harness switches each off in turn).
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Look-ahead window for acks that cure apparent violations
+    /// (§3.1.3 situation ii / §3.2). Zero disables the cure.
+    pub epsilon: Duration,
+    /// Look-behind window for explaining retransmissions from stale
+    /// state (§3.2, §4). Zero disables the look-behind.
+    pub lookbehind: Duration,
+    /// Infer unseen ICMP source quench from slow-start-shaped stalls
+    /// (§6.2).
+    pub infer_quench: bool,
+    /// Infer a limiting sender window and re-replay with it (§6.2).
+    pub infer_sender_window: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> ReplayOptions {
+        ReplayOptions {
+            epsilon: EPSILON,
+            lookbehind: LOOKBEHIND,
+            infer_quench: true,
+            infer_sender_window: true,
+        }
+    }
+}
+
+/// Connection-level facts gathered before the replay.
+struct Prescan {
+    iss: SeqNum,
+    establish_time: Time,
+    peer_sent_mss: bool,
+    peer_mss: Option<u16>,
+    initial_peer_window: u32,
+    max_in_flight: i64,
+    final_data_end: SeqNum,
+    have_handshake: bool,
+}
+
+fn prescan(conn: &Connection) -> Option<Prescan> {
+    let mut iss = None;
+    let mut peer_mss = None;
+    let mut peer_sent_mss = false;
+    let mut initial_peer_window = 0u32;
+    let mut establish_time = None;
+    let mut snd_hi: Option<SeqNum> = None;
+    let mut last_ack: Option<SeqNum> = None;
+    let mut max_in_flight: i64 = 0;
+
+    for (dir, rec) in &conn.records {
+        match dir {
+            Dir::SenderToReceiver => {
+                if rec.tcp.flags.syn() {
+                    iss = Some(rec.tcp.seq);
+                }
+                if rec.is_data() || rec.tcp.flags.fin() {
+                    let hi = rec.seq_hi();
+                    snd_hi = Some(match snd_hi {
+                        Some(h) => h.max(hi),
+                        None => hi,
+                    });
+                    let base = last_ack.or(iss.map(|s| s + 1)).unwrap_or(rec.tcp.seq);
+                    max_in_flight = max_in_flight.max(hi - base);
+                }
+            }
+            Dir::ReceiverToSender => {
+                if rec.tcp.flags.syn() && rec.tcp.flags.ack() {
+                    peer_mss = rec.tcp.mss_option();
+                    peer_sent_mss = peer_mss.is_some();
+                    initial_peer_window = u32::from(rec.tcp.window);
+                    establish_time = Some(rec.ts);
+                } else if rec.tcp.flags.ack() {
+                    last_ack = Some(match last_ack {
+                        Some(a) => a.max(rec.tcp.ack),
+                        None => rec.tcp.ack,
+                    });
+                }
+            }
+        }
+    }
+
+    let have_handshake = iss.is_some() && establish_time.is_some();
+    // Fallbacks for partial traces: synthesize an ISS just below the first
+    // data byte and treat the first record as establishment.
+    let first_data_seq = conn
+        .in_dir(Dir::SenderToReceiver)
+        .find(|r| r.is_data())
+        .map(|r| r.tcp.seq)?;
+    let iss = iss.unwrap_or(first_data_seq - 1);
+    let establish_time = establish_time.or(conn.records.first().map(|(_, r)| r.ts))?;
+    if !have_handshake {
+        initial_peer_window = conn
+            .in_dir(Dir::ReceiverToSender)
+            .find(|r| r.tcp.flags.ack())
+            .map(|r| u32::from(r.tcp.window))
+            .unwrap_or(65_535);
+    }
+    Some(Prescan {
+        iss,
+        establish_time,
+        peer_sent_mss,
+        peer_mss,
+        initial_peer_window,
+        max_in_flight,
+        final_data_end: snd_hi.unwrap_or(first_data_seq),
+        have_handshake,
+    })
+}
+
+/// Analyzes a connection's sender behavior against one candidate config.
+/// Returns `None` when the connection carries no data to analyze.
+pub fn analyze_sender(conn: &Connection, cfg: &TcpConfig) -> Option<SenderAnalysis> {
+    analyze_sender_with(conn, cfg, &ReplayOptions::default())
+}
+
+/// [`analyze_sender`] with explicit design knobs (ablation support).
+pub fn analyze_sender_with(
+    conn: &Connection,
+    cfg: &TcpConfig,
+    opts: &ReplayOptions,
+) -> Option<SenderAnalysis> {
+    let pre = prescan(conn)?;
+    let first = replay(conn, cfg, &pre, None, opts);
+    if opts.infer_sender_window && first.sender_window_evidence >= 2 && pre.max_in_flight > 0 {
+        let sw = pre.max_in_flight as u32;
+        let mut second = replay(conn, cfg, &pre, Some(sw), opts);
+        second.analysis.inferred_sender_window = Some(sw);
+        Some(second.analysis)
+    } else {
+        Some(first.analysis)
+    }
+}
+
+struct ReplayOutput {
+    analysis: SenderAnalysis,
+    sender_window_evidence: usize,
+}
+
+/// A liberation: from `at`, sending up to `permit` was allowed.
+#[derive(Debug, Clone, Copy)]
+struct Liberation {
+    at: Time,
+    permit: SeqNum,
+}
+
+/// How far back in time a retransmission may be explained by *stale*
+/// state — the §3.2 vantage ambiguity: the TCP may still be responding to
+/// an earlier packet while later ones have already been recorded by the
+/// filter ("in general it is insufficient … to only remember the most
+/// recently received packet", §6.1).
+const LOOKBEHIND: Duration = Duration::from_millis(15);
+
+/// Snapshot of the retransmission-relevant state, taken before each
+/// incoming ack is processed, enabling the look-behind (§4: "-packet
+/// look-ahead and look-behind to resolve ambiguities").
+#[derive(Debug, Clone, Copy)]
+struct Snap {
+    t: Time,
+    snd_una: SeqNum,
+    dup_acks: u32,
+    fast_retx_armed: bool,
+    resend_ptr: Option<SeqNum>,
+}
+
+struct Replay<'a> {
+    cfg: &'a TcpConfig,
+    pre: &'a Prescan,
+    opts: &'a ReplayOptions,
+    sender_window: Option<u32>,
+    cwnd_mss: u32,
+    eff_mss: u32,
+
+    cc: CcState,
+    snd_una: SeqNum,
+    snd_max_seen: SeqNum,
+    peer_window: u32,
+    liberations: Vec<Liberation>,
+    /// Liberations at or before this time are considered consumed (e.g.
+    /// burned by the §8.6 odd retransmission).
+    lib_floor: Time,
+    last_liberating_ack: Option<Time>,
+    /// Last transmission time per segment start (for RTO plausibility).
+    last_sent: std::collections::HashMap<u32, Time>,
+    /// Go-back-N refill pointer after a window collapse.
+    resend_ptr: Option<SeqNum>,
+    /// Active burst-retransmission window.
+    burst_until: Option<Time>,
+    /// Fast retransmit armed (threshold reached, retransmission expected).
+    fast_retx_armed: bool,
+    /// Recent pre-ack state snapshots for the §3.2 look-behind.
+    history: std::collections::VecDeque<Snap>,
+    /// Continuation pointer for a go-back-N refill matched against stale
+    /// state (the snapshots themselves are immutable).
+    stale_refill: Option<(SeqNum, Time)>,
+    /// Time of the most recent retransmission (any cause); quench
+    /// inference is suppressed when the stall overlaps retransmission
+    /// activity, which already explains the disturbance.
+    last_retx_time: Option<Time>,
+    /// The candidate's own RTO machinery, replayed alongside (so a
+    /// retransmission is accepted as a timeout only when the candidate's
+    /// timer — Jacobson, Solaris-broken, or fixed — would actually have
+    /// fired by then).
+    rto_model: RttEstimator,
+    /// Segment being timed for an RTT sample (hi, first-sent), Karn-style.
+    rto_timing: Option<(SeqNum, Time)>,
+    /// Highest sequence ever retransmitted (for Karn and the Solaris
+    /// reset-on-ack-of-retransmit behavior).
+    retx_high: SeqNum,
+    any_retransmitted: bool,
+    liberating_acks: u64,
+    /// Times of liberating acks, for reconstructing slow-start growth
+    /// after an inferred quench.
+    liberating_ack_times: Vec<Time>,
+    /// While set, the replay is resynchronizing after an inferred quench:
+    /// the exact quench instant is unknowable ("sometime between the ack
+    /// and the data packet", §6.2), so the reconstructed slow-start phase
+    /// may lag reality by an ack or two. Within this window, a send one
+    /// flight ahead of the model is adopted rather than flagged.
+    quench_resync_until: Option<Time>,
+    /// cwnd ceiling during resync: the window the TCP demonstrably had
+    /// before the inferred quench.
+    pre_quench_cwnd: u64,
+    rtt_estimate: Option<Duration>,
+    first_send_time: std::collections::HashMap<u32, Time>,
+
+    analysis: SenderAnalysis,
+    sender_window_evidence: usize,
+}
+
+fn replay(
+    conn: &Connection,
+    cfg: &TcpConfig,
+    pre: &Prescan,
+    sw: Option<u32>,
+    opts: &ReplayOptions,
+) -> ReplayOutput {
+    let cwnd_mss = cfg.cwnd_mss(pre.peer_mss);
+    let eff_mss = cfg.effective_send_mss(pre.peer_mss);
+    let cc = CcState::at_establishment(cfg, cwnd_mss, pre.peer_sent_mss || !pre.have_handshake);
+    let snd_una = pre.iss + 1;
+    let mut rp = Replay {
+        cfg,
+        pre,
+        opts,
+        sender_window: sw,
+        cwnd_mss,
+        eff_mss,
+        cc,
+        snd_una,
+        snd_max_seen: snd_una,
+        peer_window: pre.initial_peer_window,
+        liberations: Vec::new(),
+        lib_floor: Time(i64::MIN),
+        last_liberating_ack: None,
+        last_sent: std::collections::HashMap::new(),
+        resend_ptr: None,
+        burst_until: None,
+        fast_retx_armed: false,
+        history: std::collections::VecDeque::new(),
+        stale_refill: None,
+        last_retx_time: None,
+        rto_model: RttEstimator::new(cfg),
+        rto_timing: None,
+        retx_high: snd_una,
+        any_retransmitted: false,
+        liberating_acks: 0,
+        liberating_ack_times: Vec::new(),
+        quench_resync_until: None,
+        pre_quench_cwnd: 0,
+        rtt_estimate: None,
+        first_send_time: std::collections::HashMap::new(),
+        analysis: SenderAnalysis {
+            config_name: cfg.name,
+            response_delays: Summary::new(),
+            issues: Vec::new(),
+            reseq_cured_violations: 0,
+            inferred_sender_window: None,
+            inferred_quenches: Vec::new(),
+            zero_window_probes: 0,
+            data_packets: 0,
+            retransmissions: 0,
+            retx_causes: Vec::new(),
+            cwnd_mss,
+        },
+        sender_window_evidence: 0,
+    };
+    rp.push_liberation(pre.establish_time);
+
+    for (i, (dir, rec)) in conn.records.iter().enumerate() {
+        match dir {
+            Dir::ReceiverToSender => rp.on_receiver_packet(rec),
+            Dir::SenderToReceiver => rp.on_sender_packet(i, rec, conn),
+        }
+    }
+
+    ReplayOutput {
+        sender_window_evidence: rp.sender_window_evidence,
+        analysis: rp.analysis,
+    }
+}
+
+impl<'a> Replay<'a> {
+    fn usable_window(&self) -> u64 {
+        let cwnd = if self.cfg.no_congestion_window {
+            u64::MAX
+        } else {
+            self.cc.cwnd
+        };
+        let mut w = cwnd.min(u64::from(self.peer_window));
+        if let Some(sw) = self.sender_window {
+            w = w.min(u64::from(sw));
+        }
+        w
+    }
+
+    /// The replay has no snd_nxt; the highest sequence seen is the
+    /// closest observable proxy for bytes committed to the wire.
+    fn snd_nxt_proxy(&self) -> SeqNum {
+        self.snd_max_seen
+    }
+
+    fn permit(&self) -> SeqNum {
+        self.snd_una + (self.usable_window().min(u64::from(u32::MAX)) as u32)
+    }
+
+    fn push_liberation(&mut self, at: Time) {
+        let permit = self.permit();
+        match self.liberations.last() {
+            Some(last) if !permit.after(last.permit) => {}
+            _ => self.liberations.push(Liberation { at, permit }),
+        }
+    }
+
+    /// A window cut invalidates earlier, larger permissions.
+    fn collapse_liberations(&mut self, at: Time) {
+        self.liberations.clear();
+        self.push_liberation(at);
+    }
+
+    fn note_cause(&mut self, cause: RetxCause) {
+        if let Some(entry) = self
+            .analysis
+            .retx_causes
+            .iter_mut()
+            .find(|(c, _)| *c == cause)
+        {
+            entry.1 += 1;
+        } else {
+            self.analysis.retx_causes.push((cause, 1));
+        }
+    }
+
+    fn snapshot(&mut self, t: Time) {
+        self.history.push_back(Snap {
+            t,
+            snd_una: self.snd_una,
+            dup_acks: self.cc.dup_acks,
+            fast_retx_armed: self.fast_retx_armed,
+            resend_ptr: self.resend_ptr,
+        });
+        while self.history.len() > 32 {
+            self.history.pop_front();
+        }
+    }
+
+    fn on_receiver_packet(&mut self, rec: &TraceRecord) {
+        let tcp = &rec.tcp;
+        if tcp.flags.syn() || tcp.flags.rst() {
+            return; // handshake handled in prescan
+        }
+        if !tcp.flags.ack() {
+            return;
+        }
+        self.snapshot(rec.ts);
+        let ack = tcp.ack;
+        if ack.after(self.snd_una) {
+            // Liberating ack.
+            if let Some(t0) = self.first_send_time.get(&(ack - 1).0).copied() {
+                // Rough RTT estimate from first transmission to its ack.
+                let est = rec.ts - t0;
+                self.rtt_estimate = Some(match self.rtt_estimate {
+                    Some(prev) => (prev * 7 + est) / 8,
+                    None => est,
+                });
+            }
+            // Replay the candidate's RTO machinery (§8.6: the Solaris
+            // variant resets on any ack covering retransmitted data).
+            let ambiguous = self.any_retransmitted && ack.at_or_before(self.retx_high);
+            if ambiguous {
+                self.rto_model.on_ack_of_retransmitted();
+            } else {
+                self.rto_model.on_clean_ack();
+            }
+            if let Some((timed_hi, t0)) = self.rto_timing {
+                if ack.at_or_after(timed_hi) {
+                    let retransmitted =
+                        self.any_retransmitted && timed_hi.at_or_before(self.retx_high);
+                    if !retransmitted {
+                        self.rto_model.sample(rec.ts - t0);
+                    }
+                    self.rto_timing = None;
+                }
+            }
+            if self.cc.in_recovery {
+                self.cc.exit_recovery(self.cfg, self.cwnd_mss);
+            } else {
+                self.cc.open_window(self.cfg, self.cwnd_mss);
+            }
+            self.cc.dup_acks = 0;
+            self.fast_retx_armed = false;
+            self.snd_una = ack;
+            if let Some(ptr) = self.resend_ptr {
+                if ack.at_or_after(self.snd_max_seen) {
+                    self.resend_ptr = None;
+                } else if ack.after(ptr) {
+                    self.resend_ptr = Some(ack);
+                }
+            }
+            self.peer_window = u32::from(tcp.window);
+            self.liberating_acks += 1;
+            self.liberating_ack_times.push(rec.ts);
+            self.last_liberating_ack = Some(rec.ts);
+            self.push_liberation(rec.ts);
+        } else if ack == self.snd_una {
+            let window_changed = u32::from(tcp.window) != self.peer_window;
+            let outstanding = self.snd_una.before(self.snd_max_seen);
+            if rec.is_pure_ack() && !window_changed && outstanding {
+                self.cc.dup_acks += 1;
+                if self.cfg.dupack_updates_cwnd {
+                    self.cc.open_window(self.cfg, self.cwnd_mss);
+                    self.push_liberation(rec.ts);
+                }
+                if self.cfg.fast_retransmit && self.cc.dup_acks == self.cfg.dupack_threshold {
+                    // The TCP will cut & retransmit now; mirror it.
+                    let flight = self.usable_window().max(u64::from(self.cwnd_mss));
+                    let entered = self.cc.enter_fast_retransmit(
+                        self.cfg,
+                        self.cwnd_mss,
+                        flight,
+                        self.snd_max_seen,
+                    );
+                    self.fast_retx_armed = true;
+                    if !entered {
+                        // Tahoe collapse: go-back-N from snd_una.
+                        self.resend_ptr = Some(self.snd_una);
+                    }
+                    self.collapse_liberations(rec.ts);
+                } else if self.cc.in_recovery && self.cc.dup_acks > self.cfg.dupack_threshold {
+                    self.cc.recovery_inflate(self.cwnd_mss);
+                    self.push_liberation(rec.ts);
+                }
+            } else if window_changed {
+                self.peer_window = u32::from(tcp.window);
+                self.push_liberation(rec.ts);
+            }
+        }
+    }
+
+    fn on_sender_packet(&mut self, index: usize, rec: &TraceRecord, conn: &Connection) {
+        let tcp = &rec.tcp;
+        if tcp.flags.syn() || tcp.flags.rst() {
+            return;
+        }
+        if !rec.is_data() && !tcp.flags.fin() {
+            return; // pure acks from the sender (e.g. handshake third ack)
+        }
+        let seq = tcp.seq;
+        let hi = rec.seq_hi();
+        if rec.is_data() {
+            self.analysis.data_packets += 1;
+        }
+        self.first_send_time.entry(hi.0 - 1).or_insert(rec.ts);
+
+        if hi.after(self.snd_max_seen) {
+            if self.rto_timing.is_none() && rec.is_data() {
+                self.rto_timing = Some((hi, rec.ts));
+            }
+            self.on_new_data(index, rec, hi, conn);
+            self.snd_max_seen = hi;
+        } else {
+            self.any_retransmitted = true;
+            if hi.after(self.retx_high) {
+                self.retx_high = hi;
+            }
+            if let Some((timed_hi, _)) = self.rto_timing {
+                if timed_hi.after(seq) && timed_hi.at_or_before(hi + self.cwnd_mss) {
+                    self.rto_timing = None; // Karn: the timed segment was re-sent
+                }
+            }
+            self.on_retransmission(index, rec, seq, hi);
+        }
+        self.last_sent.insert(seq.0, rec.ts);
+    }
+
+    fn on_new_data(&mut self, index: usize, rec: &TraceRecord, hi: SeqNum, conn: &Connection) {
+        // Zero-window probe: a one-byte segment sent while the window
+        // cannot fit a real segment is the persist timer talking, not a
+        // violation.
+        if rec.payload_len == 1 {
+            let in_flight = (self.snd_nxt_proxy() - self.snd_una).max(0) as u64;
+            if self.usable_window() <= in_flight + u64::from(self.cwnd_mss) / 4 {
+                self.analysis.zero_window_probes += 1;
+                return;
+            }
+        }
+        // Window check.
+        if hi.after(self.permit()) {
+            // Post-quench resync: the slow-start phase reconstruction may
+            // lag by an ack; adopt the observed flight while it stays
+            // below the pre-quench window.
+            if let Some(until) = self.quench_resync_until {
+                let flight = (hi - self.snd_una).max(0) as u64;
+                if rec.ts <= until && flight <= self.pre_quench_cwnd {
+                    self.cc.cwnd = self.cc.cwnd.max(flight);
+                    self.analysis.response_delays.add(Duration::ZERO);
+                    self.push_liberation(rec.ts);
+                    return;
+                }
+                if rec.ts > until {
+                    self.quench_resync_until = None;
+                }
+            }
+            if let Some(margin) = self.curing_ack_ahead(index, rec, hi, conn) {
+                self.analysis.reseq_cured_violations += 1;
+                self.analysis.response_delays.add(-margin);
+                return;
+            }
+            self.analysis.issues.push(SenderIssue {
+                kind: SenderIssueKind::WindowViolation,
+                index,
+                time: rec.ts,
+                detail: format!(
+                    "sent {} beyond permit {} (cwnd {}, offered {}, una {})",
+                    hi,
+                    self.permit(),
+                    self.cc.cwnd,
+                    self.peer_window,
+                    self.snd_una
+                ),
+            });
+            return;
+        }
+        // Liberation matching: the earliest (unconsumed) liberation whose
+        // permit covers `hi`.
+        let lib = self
+            .liberations
+            .iter()
+            .filter(|l| l.at > self.lib_floor || self.lib_floor == Time(i64::MIN))
+            .find(|l| l.permit.at_or_after(hi))
+            .copied();
+        if let Some(lib) = lib {
+            let delay = rec.ts - lib.at;
+            // A *suspect* delay is one far above the connection's own
+            // response-time scale: that is where §6.2's source-quench
+            // signature hides even when the absolute delay is modest
+            // (a quench stall lasts about one RTT).
+            let baseline = {
+                let mut d = self.analysis.response_delays.clone();
+                d.median().unwrap_or(Duration::from_millis(2))
+            };
+            let suspect = delay > (baseline * 10).max(Duration::from_millis(30));
+            if suspect && self.opts.infer_quench && self.quench_consistent(lib.at, hi) {
+                self.analysis.inferred_quenches.push(lib.at);
+                // Repair the model: the TCP entered slow start when the
+                // (unseen) quench arrived — shortly after `lib.at` — and
+                // every liberating ack since then grew cwnd by one
+                // segment (§6.2: "the whole series is consistent with
+                // slow start having begun sometime between the ack and
+                // the data packet").
+                let rtt = self.rtt_estimate.unwrap_or(Duration::from_millis(100));
+                self.pre_quench_cwnd = self.cc.cwnd;
+                self.cc.on_quench(self.cfg, self.cwnd_mss);
+                let acks_since = self
+                    .liberating_ack_times
+                    .iter()
+                    .filter(|&&t| t > lib.at && t < rec.ts)
+                    .count() as u64;
+                self.cc.cwnd += acks_since * u64::from(self.cwnd_mss);
+                self.quench_resync_until = Some(rec.ts + rtt * 4);
+                self.collapse_liberations(rec.ts);
+                self.analysis.response_delays.add(Duration::ZERO);
+            } else if delay > LULL_THRESHOLD {
+                self.analysis.issues.push(SenderIssue {
+                    kind: SenderIssueKind::Lull,
+                    index,
+                    time: rec.ts,
+                    detail: format!("new data {} sent {} after liberation", hi, delay),
+                });
+            } else {
+                self.analysis.response_delays.add(delay);
+            }
+            // Sender-window evidence (§6.2): the window allowed a full
+            // segment more than the connection ever had in flight, yet the
+            // flight peaked at max_in_flight with data still to come.
+            let in_flight = hi - self.snd_una;
+            if self.sender_window.is_none()
+                && in_flight >= self.pre.max_in_flight
+                && self.usable_window() as i64 >= self.pre.max_in_flight + i64::from(self.eff_mss)
+                && hi.before(self.pre.final_data_end)
+            {
+                self.sender_window_evidence += 1;
+            }
+        }
+        // Advancing past the refill pointer completes the refill.
+        if let Some(ptr) = self.resend_ptr {
+            if hi.after(ptr) {
+                self.resend_ptr = None;
+            }
+        }
+    }
+
+    fn on_retransmission(&mut self, index: usize, rec: &TraceRecord, seq: SeqNum, hi: SeqNum) {
+        self.analysis.retransmissions += 1;
+        let t = rec.ts;
+        self.last_retx_time = Some(t);
+
+        // Current-state view first; then the §3.2 look-behind through the
+        // pre-ack snapshots (newest first) within the vantage window.
+        let now_view = Snap {
+            t,
+            snd_una: self.snd_una,
+            dup_acks: self.cc.dup_acks,
+            fast_retx_armed: self.fast_retx_armed,
+            resend_ptr: self.resend_ptr,
+        };
+        let mut matched = self.try_cause(seq, hi, t, &now_view).map(|c| (c, false));
+        if matched.is_none() {
+            let stale_views: Vec<Snap> = self
+                .history
+                .iter()
+                .rev()
+                .take_while(|s| t - s.t <= self.opts.lookbehind)
+                .copied()
+                .collect();
+            for view in stale_views {
+                if let Some(c) = self.try_cause(seq, hi, t, &view) {
+                    matched = Some((c, true));
+                    break;
+                }
+            }
+        }
+
+        let Some((cause, stale)) = matched else {
+            self.analysis.issues.push(SenderIssue {
+                kind: SenderIssueKind::UnexplainedRetransmission,
+                index,
+                time: t,
+                detail: format!(
+                    "retransmission of {} (dup_acks {}) fits no rule of {}",
+                    seq, self.cc.dup_acks, self.cfg.name
+                ),
+            });
+            return;
+        };
+        self.note_cause(cause);
+        match cause {
+            RetxCause::BurstContinuation | RetxCause::EarlyDupAck => {
+                if self.cfg.burst_retransmit {
+                    // Rolling window: a burst lasts as long as its packets
+                    // keep coming back-to-back (§8.5's bursts can span
+                    // dozens of packets and tens of milliseconds).
+                    self.burst_until = Some(t + BURST_WINDOW);
+                }
+            }
+            RetxCause::RefillAfterCut => {
+                if stale {
+                    self.stale_refill = Some((hi, t));
+                } else {
+                    self.resend_ptr = Some(hi);
+                    if !hi.before(self.snd_max_seen) {
+                        self.resend_ptr = None;
+                    }
+                }
+            }
+            RetxCause::FastRetransmit => {
+                self.fast_retx_armed = false;
+                if self.cfg.fast_recovery == FastRecovery::Reno {
+                    // snd_nxt stays; nothing else to do.
+                }
+            }
+            RetxCause::OddRetransmitAfterAck => {
+                // The liberation is burned: new data waits for the next
+                // ack (§8.6).
+                self.lib_floor = t;
+            }
+            RetxCause::Timeout => {
+                self.rto_model.on_timeout();
+                let flight = self.usable_window().max(u64::from(self.cwnd_mss));
+                self.cc.on_timeout(self.cfg, self.cwnd_mss, flight);
+                self.collapse_liberations(t);
+                if self.cfg.burst_retransmit {
+                    self.burst_until = Some(t + BURST_WINDOW);
+                } else {
+                    self.resend_ptr = Some(hi);
+                    if !hi.before(self.snd_max_seen) {
+                        self.resend_ptr = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tests every per-config retransmission rule against one state view.
+    fn try_cause(&self, seq: SeqNum, hi: SeqNum, t: Time, view: &Snap) -> Option<RetxCause> {
+        // (a) Part of an ongoing burst.
+        if let Some(until) = self.burst_until {
+            if t <= until && seq.at_or_after(view.snd_una) {
+                return Some(RetxCause::BurstContinuation);
+            }
+        }
+        // (b) Go-back-N refill at the expected pointer (or continuing a
+        // refill that was matched against stale state).
+        if view.resend_ptr == Some(seq) && !hi.after(self.permit() + self.cwnd_mss) {
+            return Some(RetxCause::RefillAfterCut);
+        }
+        if let Some((ptr, at)) = self.stale_refill {
+            if ptr == seq && t - at <= self.opts.lookbehind {
+                return Some(RetxCause::RefillAfterCut);
+            }
+        }
+        let head = seq == view.snd_una;
+        // (c) Fast retransmit armed by the dup-ack threshold.
+        if head && view.fast_retx_armed {
+            return Some(RetxCause::FastRetransmit);
+        }
+        // (d) §8.5: retransmission on the first dup ack.
+        if head && self.cfg.retransmit_on_first_dupack && view.dup_acks >= 1 {
+            return Some(RetxCause::EarlyDupAck);
+        }
+        // (e) §8.6: odd retransmission just after a liberating ack —
+        // "just after" includes the host's processing lag (§3.2), so any
+        // liberating ack within the look-behind window qualifies.
+        if head && self.cfg.retransmit_after_ack_period > 0 {
+            let lb = self.opts.lookbehind.max(EPSILON);
+            let recent = self
+                .liberating_ack_times
+                .iter()
+                .rev()
+                .take(8)
+                .any(|&at| t >= at && t - at <= lb);
+            if recent {
+                return Some(RetxCause::OddRetransmitAfterAck);
+            }
+        }
+        // (f) Timeout: accepted only when the candidate's *own* RTO
+        // machinery would have fired by now — this is what lets a trace
+        // full of 300–600 ms retransmissions reject every candidate whose
+        // adapted timer sits above a second, while the Solaris profile
+        // (whose timer is reset by acks of retransmitted data and so
+        // never adapts) explains it.
+        let since_last = self
+            .last_sent
+            .get(&seq.0)
+            .map(|&t0| t - t0)
+            .unwrap_or(Duration::ZERO);
+        let floor = self.cfg.min_rto.min(self.cfg.initial_rto);
+        let modeled = self.rto_model.rto();
+        let threshold = (modeled * 3 / 5).max(floor * 4 / 5);
+        if head && since_last >= threshold {
+            return Some(RetxCause::Timeout);
+        }
+        None
+    }
+
+    /// Looks ahead ≤ ε for an ack that, once processed, would permit `hi`
+    /// (§3.1.3 situation ii / §3.2 vantage ambiguity).
+    fn curing_ack_ahead(
+        &self,
+        index: usize,
+        rec: &TraceRecord,
+        hi: SeqNum,
+        conn: &Connection,
+    ) -> Option<Duration> {
+        for (dir, next) in conn.records.iter().skip(index + 1) {
+            if next.ts - rec.ts > self.opts.epsilon {
+                break;
+            }
+            if *dir == Dir::ReceiverToSender && next.tcp.flags.ack() {
+                // Would this ack make hi legal? Approximate: new snd_una +
+                // at-least-current usable window (window only grows on a
+                // liberating ack).
+                let would_permit =
+                    next.tcp.ack + (self.usable_window().min(u64::from(u32::MAX)) as u32);
+                if next.tcp.ack.after(self.snd_una) && would_permit.at_or_after(hi) {
+                    return Some(next.ts - rec.ts);
+                }
+            }
+        }
+        None
+    }
+
+    /// Does this delayed send look like a slow-start restart — the §6.2
+    /// signature of an unseen source quench? The tell is a *collapsed
+    /// flight*: the TCP stalled with the window wide open and resumed
+    /// with far less data outstanding than the connection's peak. (Not
+    /// applicable to configs that do not slow-start on quench, e.g.
+    /// Linux 1.0 — exactly the caveat the paper notes.)
+    fn quench_consistent(&self, lib_at: Time, hi: SeqNum) -> bool {
+        if !matches!(
+            self.cfg.quench_response,
+            QuenchResponse::SlowStart | QuenchResponse::SlowStartCutSsthresh
+        ) {
+            return false;
+        }
+        // Retransmission activity during the stall already explains a
+        // disturbed window; do not also invent a quench.
+        if self.last_retx_time.is_some_and(|t| t >= lib_at) {
+            return false;
+        }
+        let flight_now = (hi - self.snd_una).max(0);
+        flight_now <= i64::from(2 * self.eff_mss).max(self.pre.max_in_flight / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpa_tcpsim::profiles;
+    use tcpa_trace::{Trace, TraceRecord};
+    use tcpa_wire::{IpProtocol, Ipv4Addr, Ipv4Repr, TcpFlags, TcpOption, TcpRepr};
+
+    fn rec(ts_ms: i64, src: u8, dst: u8, flags: TcpFlags, seq: u32, len: u32, ack: u32) -> TraceRecord {
+        TraceRecord {
+            ts: Time::from_millis(ts_ms),
+            ip: Ipv4Repr {
+                src: Ipv4Addr::from_host_id(src),
+                dst: Ipv4Addr::from_host_id(dst),
+                protocol: IpProtocol::Tcp,
+                ttl: 64,
+                ident: 0,
+                payload_len: 20 + len as usize,
+            },
+            tcp: TcpRepr {
+                seq: SeqNum(seq),
+                ack: SeqNum(ack),
+                flags,
+                window: 32_768,
+                ..TcpRepr::new(5000 + u16::from(src), 5000 + u16::from(dst))
+            },
+            payload_len: len,
+            checksum_ok: Some(true),
+        }
+    }
+
+    fn with_mss(mut r: TraceRecord, mss: u16) -> TraceRecord {
+        r.tcp.options.push(TcpOption::Mss(mss));
+        r
+    }
+
+    const A: TcpFlags = TcpFlags::ACK;
+    const S: TcpFlags = TcpFlags::SYN;
+    const SA: TcpFlags = TcpFlags(0x12);
+
+    /// A hand-built clean slow-start trace: 1, then 2, then 4 segments,
+    /// each flight ack-clocked, MSS 512.
+    fn slow_start_trace() -> Connection {
+        let mut v = vec![
+            with_mss(rec(0, 1, 2, S, 1000, 0, 0), 512),
+            with_mss(rec(100, 2, 1, SA, 9000, 0, 1001), 512),
+            rec(101, 1, 2, A, 1001, 0, 9001),
+            // flight 1
+            rec(102, 1, 2, A, 1001, 512, 9001),
+            rec(202, 2, 1, A, 9001, 0, 1513),
+            // flight 2
+            rec(203, 1, 2, A, 1513, 512, 9001),
+            rec(204, 1, 2, A, 2025, 512, 9001),
+            rec(303, 2, 1, A, 9001, 0, 2537),
+            // flight 3 (ack covered both: cwnd now 3*512? one ack for two
+            // segments → one open_window → cwnd 3: three segments go out)
+            rec(304, 1, 2, A, 2537, 512, 9001),
+            rec(305, 1, 2, A, 3049, 512, 9001),
+            rec(306, 1, 2, A, 3561, 512, 9001),
+        ];
+        let trace: Trace = v.drain(..).collect();
+        Connection::split(&trace).remove(0)
+    }
+
+    #[test]
+    fn clean_slow_start_fits_reno_with_no_issues() {
+        let conn = slow_start_trace();
+        let a = analyze_sender(&conn, &profiles::reno()).expect("analyzable");
+        assert!(a.issues.is_empty(), "{:?}", a.issues);
+        assert_eq!(a.retransmissions, 0);
+        assert_eq!(a.data_packets, 6);
+        // Response delays: each flight goes out within a few ms of its ack
+        // (the hand-built trace spaces back-to-back sends 1 ms apart).
+        assert!(a.response_delays.max().unwrap() <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn overshoot_is_a_window_violation() {
+        // Same trace, but a 4th segment in flight 3 exceeds cwnd=3·512.
+        let conn = {
+            let mut v = slow_start_trace().records;
+            v.push((
+                Dir::SenderToReceiver,
+                rec(307, 1, 2, A, 4073, 512, 9001),
+            ));
+            Connection {
+                records: v,
+                ..slow_start_trace()
+            }
+        };
+        let a = analyze_sender(&conn, &profiles::reno()).unwrap();
+        assert_eq!(a.hard_issues(), 1, "{:?}", a.issues);
+        assert!(matches!(
+            a.issues[0].kind,
+            SenderIssueKind::WindowViolation
+        ));
+    }
+
+    #[test]
+    fn violation_cured_by_adjacent_ack_is_resequencing_not_misbehavior() {
+        let conn = {
+            let mut v = slow_start_trace().records;
+            v.push((Dir::SenderToReceiver, rec(307, 1, 2, A, 4073, 512, 9001)));
+            // The curing ack recorded 400 µs later.
+            let mut cure = rec(307, 2, 1, A, 9001, 0, 3049);
+            cure.ts = Time::from_micros(307_400);
+            v.push((Dir::ReceiverToSender, cure));
+            Connection {
+                records: v,
+                ..slow_start_trace()
+            }
+        };
+        let a = analyze_sender(&conn, &profiles::reno()).unwrap();
+        assert_eq!(a.hard_issues(), 0, "{:?}", a.issues);
+        assert_eq!(a.reseq_cured_violations, 1);
+    }
+
+    #[test]
+    fn timeout_retransmission_accepted_and_window_collapsed() {
+        let mut v = vec![
+            with_mss(rec(0, 1, 2, S, 1000, 0, 0), 512),
+            with_mss(rec(100, 2, 1, SA, 9000, 0, 1001), 512),
+            rec(102, 1, 2, A, 1001, 512, 9001),
+            // no ack; RTO (≥ 1 s for Reno) fires:
+            rec(3200, 1, 2, A, 1001, 512, 9001),
+        ];
+        let trace: Trace = v.drain(..).collect();
+        let conn = Connection::split(&trace).remove(0);
+        let a = analyze_sender(&conn, &profiles::reno()).unwrap();
+        assert!(a.issues.is_empty(), "{:?}", a.issues);
+        assert_eq!(a.retransmissions, 1);
+        assert_eq!(a.retx_causes, vec![(RetxCause::Timeout, 1)]);
+    }
+
+    #[test]
+    fn premature_retransmission_rejected_for_reno_accepted_for_solaris() {
+        // Retransmission after only 400 ms: below Reno's 1 s floor,
+        // above Solaris's 200 ms floor.
+        let mut v = vec![
+            with_mss(rec(0, 1, 2, S, 1000, 0, 0), 512),
+            with_mss(rec(100, 2, 1, SA, 9000, 0, 1001), 512),
+            rec(102, 1, 2, A, 1001, 512, 9001),
+            rec(502, 1, 2, A, 1001, 512, 9001),
+        ];
+        let trace: Trace = v.drain(..).collect();
+        let conn = Connection::split(&trace).remove(0);
+
+        let reno = analyze_sender(&conn, &profiles::reno()).unwrap();
+        assert_eq!(reno.hard_issues(), 1, "{:?}", reno.issues);
+        assert!(matches!(
+            reno.issues[0].kind,
+            SenderIssueKind::UnexplainedRetransmission
+        ));
+
+        let sol = analyze_sender(&conn, &profiles::solaris_2_4()).unwrap();
+        assert_eq!(sol.hard_issues(), 0, "{:?}", sol.issues);
+        assert_eq!(sol.retx_causes, vec![(RetxCause::Timeout, 1)]);
+    }
+
+    #[test]
+    fn fast_retransmit_after_three_dups_accepted() {
+        let mut v = vec![
+            with_mss(rec(0, 1, 2, S, 1000, 0, 0), 512),
+            with_mss(rec(50, 2, 1, SA, 9000, 0, 1001), 512),
+            rec(51, 1, 2, A, 1001, 512, 9001),
+            rec(150, 2, 1, A, 9001, 0, 1513),
+            rec(151, 1, 2, A, 1513, 512, 9001),
+            rec(152, 1, 2, A, 2025, 512, 9001),
+            rec(250, 2, 1, A, 9001, 0, 2537),
+            // four segments; first (2537) lost in the network
+            rec(251, 1, 2, A, 2537, 512, 9001),
+            rec(252, 1, 2, A, 3049, 512, 9001),
+            rec(253, 1, 2, A, 3561, 512, 9001),
+            // dup acks for 2537 elicited by the two later segments + one more
+            rec(350, 2, 1, A, 9001, 0, 2537),
+            rec(351, 2, 1, A, 9001, 0, 2537),
+            rec(352, 2, 1, A, 9001, 0, 2537),
+            // fast retransmit
+            rec(353, 1, 2, A, 2537, 512, 9001),
+        ];
+        let trace: Trace = v.drain(..).collect();
+        let conn = Connection::split(&trace).remove(0);
+        let a = analyze_sender(&conn, &profiles::reno()).unwrap();
+        assert_eq!(a.hard_issues(), 0, "{:?}", a.issues);
+        assert_eq!(a.retx_causes, vec![(RetxCause::FastRetransmit, 1)]);
+    }
+
+    #[test]
+    fn burst_retransmission_fits_linux_but_not_reno() {
+        let mut v = vec![
+            with_mss(rec(0, 1, 2, S, 1000, 0, 0), 512),
+            with_mss(rec(50, 2, 1, SA, 9000, 0, 1001), 512),
+            rec(51, 1, 2, A, 1001, 512, 9001),
+            rec(150, 2, 1, A, 9001, 0, 1513),
+            rec(151, 1, 2, A, 1513, 512, 9001),
+            rec(152, 1, 2, A, 2025, 512, 9001),
+            // one dup ack …
+            rec(250, 2, 1, A, 9001, 0, 1513),
+            // … and Linux 1.0 re-sends everything in flight at once.
+            rec(251, 1, 2, A, 1513, 512, 9001),
+            rec(252, 1, 2, A, 2025, 512, 9001),
+        ];
+        let trace: Trace = v.drain(..).collect();
+        let conn = Connection::split(&trace).remove(0);
+
+        let lin = analyze_sender(&conn, &profiles::linux_1_0()).unwrap();
+        assert_eq!(lin.hard_issues(), 0, "{:?}", lin.issues);
+        assert!(lin
+            .retx_causes
+            .iter()
+            .any(|(c, _)| *c == RetxCause::EarlyDupAck));
+        assert!(lin
+            .retx_causes
+            .iter()
+            .any(|(c, _)| *c == RetxCause::BurstContinuation));
+
+        let reno = analyze_sender(&conn, &profiles::reno()).unwrap();
+        assert!(reno.hard_issues() >= 1, "{:?}", reno.issues);
+    }
+
+    #[test]
+    fn sender_window_inferred_when_flight_plateaus() {
+        // Offered window 32 KB and cwnd keeps growing, but the socket
+        // buffer caps the flight at 2048 bytes (4 segments). The trace
+        // follows slow start until the cap binds: flights of 1, 2, 4,
+        // 4, 4, … with every segment acked individually.
+        let mut v = vec![
+            with_mss(rec(0, 1, 2, S, 1000, 0, 0), 512),
+            with_mss(rec(50, 2, 1, SA, 9000, 0, 1001), 512),
+        ];
+        let mut una = 1001u32;
+        let mut t = 60;
+        for round in 0..8 {
+            let flight = [1usize, 2, 4][round.min(2)];
+            for k in 0..flight {
+                v.push(rec(t + k as i64, 1, 2, A, una + 512 * k as u32, 512, 9001));
+            }
+            t += 100;
+            for k in 0..flight {
+                una += 512;
+                v.push(rec(t + k as i64, 2, 1, A, 9001, 0, una));
+            }
+            t += 10;
+        }
+        let trace: Trace = v.drain(..).collect();
+        let conn = Connection::split(&trace).remove(0);
+        let a = analyze_sender(&conn, &profiles::reno()).unwrap();
+        assert_eq!(a.inferred_sender_window, Some(2048));
+        assert!(a.issues.is_empty(), "{:?}", a.issues);
+    }
+
+    #[test]
+    fn unseen_source_quench_inferred() {
+        // cwnd is ~4 segments; suddenly the sender pauses 400 ms and then
+        // trickles out a lone segment — the §6.2 slow-start signature.
+        let mut v = vec![
+            with_mss(rec(0, 1, 2, S, 1000, 0, 0), 512),
+            with_mss(rec(50, 2, 1, SA, 9000, 0, 1001), 512),
+            rec(51, 1, 2, A, 1001, 512, 9001),
+            rec(150, 2, 1, A, 9001, 0, 1513),
+            rec(151, 1, 2, A, 1513, 512, 9001),
+            rec(152, 1, 2, A, 2025, 512, 9001),
+            rec(250, 2, 1, A, 9001, 0, 2537),
+            // quench arrives (invisible); 400 ms later one lone segment:
+            rec(650, 1, 2, A, 2537, 512, 9001),
+            // ack-clocked restart, next data a full RTT later:
+            rec(750, 2, 1, A, 9001, 0, 3049),
+            rec(751, 1, 2, A, 3049, 512, 9001),
+        ];
+        let trace: Trace = v.drain(..).collect();
+        let conn = Connection::split(&trace).remove(0);
+        let a = analyze_sender(&conn, &profiles::reno()).unwrap();
+        assert_eq!(a.inferred_quenches.len(), 1, "{:?}", a.issues);
+        assert_eq!(a.lulls(), 0);
+    }
+
+    #[test]
+    fn connection_without_data_is_unanalyzable() {
+        let mut v = vec![
+            with_mss(rec(0, 1, 2, S, 1000, 0, 0), 512),
+            with_mss(rec(50, 2, 1, SA, 9000, 0, 1001), 512),
+        ];
+        let trace: Trace = v.drain(..).collect();
+        let conn = Connection::split(&trace).remove(0);
+        assert!(analyze_sender(&conn, &profiles::reno()).is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end tests of the `tcpanaly` command-line binary: generate a
+//! pcap with the simulator, then drive the real executable over it.
+
+use std::io::Write as _;
+use std::process::Command;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles;
+use tcpa_trace::pcap_io;
+use tcpa_wire::TsResolution;
+
+fn write_trace(name: &str, trace: &tcpa_trace::Trace) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("tcpanaly_cli_{name}_{}.pcap", std::process::id()));
+    let file = std::fs::File::create(&path).expect("create pcap");
+    pcap_io::write_pcap(trace, file, TsResolution::Micro, 0).expect("write pcap");
+    path
+}
+
+fn tcpanaly(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tcpanaly"))
+        .args(args)
+        .output()
+        .expect("run tcpanaly");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn cli_fingerprints_a_pcap() {
+    let out = run_transfer(
+        profiles::solaris_2_4(),
+        profiles::reno(),
+        &PathSpec::default(),
+        100 * 1024,
+        400,
+    );
+    let path = write_trace("fp", &out.sender_trace());
+    let (stdout, stderr, ok) = tcpanaly(&["--sender", path.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Calibration"));
+    assert!(stdout.contains("Solaris 2.4"), "{stdout}");
+    assert!(stdout.contains("close"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn cli_auto_detects_vantage() {
+    let out = run_transfer(
+        profiles::reno(),
+        profiles::reno(),
+        &PathSpec::default(),
+        100 * 1024,
+        401,
+    );
+    let spath = write_trace("auto_s", &out.sender_trace());
+    let (stdout, _, ok) = tcpanaly(&[spath.to_str().unwrap()]);
+    assert!(ok);
+    assert!(
+        stdout.contains("auto-detected Sender"),
+        "sender trace: {stdout}"
+    );
+    let rpath = write_trace("auto_r", &out.receiver_trace());
+    let (stdout, _, ok) = tcpanaly(&[rpath.to_str().unwrap()]);
+    assert!(ok);
+    assert!(
+        stdout.contains("auto-detected Receiver"),
+        "receiver trace: {stdout}"
+    );
+    let _ = std::fs::remove_file(spath);
+    let _ = std::fs::remove_file(rpath);
+}
+
+#[test]
+fn cli_single_impl_mode_reports_issues() {
+    // A Linux 1.0 storm trace checked against Generic Reno: the CLI must
+    // surface the disagreements.
+    let mut path_spec = PathSpec::default();
+    path_spec.loss_data = tcpa_netsim::LossModel::Periodic(20);
+    let out = run_transfer(
+        profiles::linux_1_0(),
+        profiles::linux_1_0(),
+        &path_spec,
+        64 * 1024,
+        402,
+    );
+    let path = write_trace("impl", &out.sender_trace());
+    let (stdout, _, ok) = tcpanaly(&["--impl", "Generic Reno", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(
+        stdout.contains("clearly incorrect"),
+        "Reno must not fit a Linux 1.0 storm: {stdout}"
+    );
+    let (stdout, _, ok) = tcpanaly(&["--impl", "Linux 1.0", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("close"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn cli_rejects_unknown_impl_and_missing_file() {
+    let out = run_transfer(
+        profiles::reno(),
+        profiles::reno(),
+        &PathSpec::default(),
+        16 * 1024,
+        403,
+    );
+    let path = write_trace("err", &out.sender_trace());
+    let (_, stderr, ok) = tcpanaly(&["--impl", "4.5BSD", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown implementation"));
+    let (_, stderr, ok) = tcpanaly(&["/nonexistent/file.pcap"]);
+    assert!(!ok);
+    assert!(stderr.contains("file.pcap"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn cli_rejects_garbage_capture() {
+    let path = std::env::temp_dir().join(format!("tcpanaly_cli_garbage_{}.pcap", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(b"this is not a capture file at all").unwrap();
+    drop(f);
+    let (_, stderr, ok) = tcpanaly(&[path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("magic"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn cli_list_impls() {
+    let (stdout, _, ok) = tcpanaly(&["--list-impls"]);
+    assert!(ok);
+    assert!(stdout.contains("Solaris 2.4"));
+    assert!(stdout.contains("Trumpet/Winsock"));
+    assert!(stdout.lines().count() >= 20);
+}

@@ -1,0 +1,112 @@
+//! Robustness properties: whatever a packet filter does to a trace —
+//! sheds records, duplicates them, scrambles their order, warps their
+//! clock, truncates their payloads — the analyzer must neither panic nor
+//! blame the TCP for the filter's sins when told about the filter.
+
+use proptest::prelude::*;
+use tcpa_filter::{apply, ClockModel, DropModel, DupModel, FilterConfig, ReseqModel};
+use tcpa_netsim::LossModel;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles::all_profiles;
+use tcpa_trace::{Connection, Duration, Time};
+use tcpanaly::calibrate::Calibrator;
+use tcpanaly::receiver::analyze_receiver;
+use tcpanaly::sender::analyze_sender;
+use tcpanaly::Analyzer;
+
+fn arb_filter() -> impl Strategy<Value = FilterConfig> {
+    (
+        prop_oneof![
+            3 => Just(DropModel::None),
+            1 => (0.0f64..0.2).prop_map(DropModel::Bernoulli),
+            1 => (0usize..80, 1usize..20)
+                .prop_map(|(start, len)| DropModel::Burst { start, len }),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![
+            2 => Just(ClockModel::perfect()),
+            1 => (-500.0f64..500.0, 1i64..5, 1i64..200).prop_map(|(ppm, period, step)| {
+                ClockModel::fast_with_periodic_sync(
+                    ppm,
+                    Duration::from_secs(period),
+                    Duration::from_millis(step),
+                    Time::from_secs(120),
+                )
+            }),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(drops, dup, reseq, clock, headers_only)| FilterConfig {
+            drops,
+            duplication: dup.then(DupModel::default),
+            resequencing: reseq.then(ReseqModel::default),
+            clock,
+            headers_only,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full pipeline digests any filter-mangled trace of any
+    /// implementation without panicking, and the report renders.
+    #[test]
+    fn analyzer_never_panics_on_mangled_traces(
+        profile_idx in 0usize..32,
+        filter in arb_filter(),
+        loss in prop_oneof![2 => Just(LossModel::None), 1 => (10u64..40).prop_map(LossModel::Periodic)],
+        seed in any::<u64>(),
+    ) {
+        let profiles = all_profiles();
+        let cfg = profiles[profile_idx % profiles.len()].clone();
+        let mut path = PathSpec::default();
+        path.loss_data = loss;
+        let out = run_transfer(cfg.clone(), profiles[0].clone(), &path, 48 * 1024, seed);
+        let (measured, _) = apply(&out.sender_tap, &filter, seed);
+
+        // Calibrate + full façade from both vantages.
+        let _ = Calibrator::at_sender().calibrate(&measured);
+        let report = Analyzer::at_sender().analyze(&measured);
+        let _ = report.render();
+        let report = Analyzer::at_receiver().analyze(&measured);
+        let _ = report.render();
+
+        // And direct module entry points on whatever connections remain.
+        let (clean, _) = Calibrator::new().calibrate(&measured);
+        for conn in Connection::split(&clean) {
+            let _ = analyze_sender(&conn, &cfg);
+            let _ = analyze_receiver(&conn);
+            let _ = tcpanaly::handshake::analyze_handshake(&conn);
+            let _ = tcpanaly::fingerprint::fingerprint_receiver(&conn);
+        }
+    }
+
+    /// With a *clean* filter, the generating profile never collects hard
+    /// issues, whatever the path loss or the peer.
+    #[test]
+    fn self_fit_is_loss_invariant(
+        profile_idx in 0usize..32,
+        peer_idx in 0usize..32,
+        every in 8u64..40,
+        seed in any::<u64>(),
+    ) {
+        let profiles = all_profiles();
+        let cfg = profiles[profile_idx % profiles.len()].clone();
+        let peer = profiles[peer_idx % profiles.len()].clone();
+        let mut path = PathSpec::default();
+        path.loss_data = LossModel::Periodic(every);
+        let out = run_transfer(cfg.clone(), peer, &path, 48 * 1024, seed);
+        prop_assume!(out.completed);
+        let conn = Connection::split(&out.sender_trace()).remove(0);
+        if let Some(a) = analyze_sender(&conn, &cfg) {
+            prop_assert_eq!(
+                a.hard_issues(),
+                0,
+                "{} issues: {:?}",
+                cfg.name,
+                a.issues.iter().take(2).collect::<Vec<_>>()
+            );
+        }
+    }
+}

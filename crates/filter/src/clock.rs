@@ -1,0 +1,113 @@
+//! Packet-filter clock models (§3.1.4).
+//!
+//! A filter stamps each record with its *own* clock's reading at the
+//! moment it processes the packet. The model maps true time to measured
+//! time through an offset, a relative skew, and a list of step
+//! adjustments (a host synchronizing its fast-running clock by setting it
+//! *backwards* produces the paper's "time travel").
+
+use tcpa_trace::{Duration, Time};
+
+/// An affine-plus-steps clock.
+#[derive(Debug, Clone, Default)]
+pub struct ClockModel {
+    /// Constant offset added to every reading.
+    pub offset: Duration,
+    /// Relative skew in parts per million (positive = this clock runs
+    /// fast).
+    pub skew_ppm: f64,
+    /// Step adjustments: at true time `.0`, the clock jumps by `.1`
+    /// (negative = set backwards). Applied to all readings at or after the
+    /// step.
+    pub adjustments: Vec<(Time, Duration)>,
+}
+
+impl ClockModel {
+    /// A perfect clock.
+    pub fn perfect() -> ClockModel {
+        ClockModel::default()
+    }
+
+    /// The §3.1.4 BSDI/NetBSD pattern: the clock runs fast by `skew_ppm`
+    /// and an external synchronization daemon yanks it back by `step`
+    /// every `period` of true time, causing periodic backward jumps.
+    pub fn fast_with_periodic_sync(skew_ppm: f64, period: Duration, step: Duration, horizon: Time) -> ClockModel {
+        assert!(step.as_nanos() >= 0, "step must be given as a magnitude");
+        let mut adjustments = Vec::new();
+        let mut t = Time::ZERO + period;
+        while t <= horizon {
+            adjustments.push((t, -step));
+            t += period;
+        }
+        ClockModel {
+            offset: Duration::ZERO,
+            skew_ppm,
+            adjustments,
+        }
+    }
+
+    /// Maps a true time to this clock's reading.
+    pub fn stamp(&self, t: Time) -> Time {
+        let skewed = t.as_nanos() as f64 * (1.0 + self.skew_ppm * 1e-6);
+        let mut reading = skewed as i64 + self.offset.as_nanos();
+        for &(at, step) in &self.adjustments {
+            if t >= at {
+                reading += step.as_nanos();
+            }
+        }
+        Time(reading)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = ClockModel::perfect();
+        assert_eq!(c.stamp(Time::from_millis(1234)), Time::from_millis(1234));
+    }
+
+    #[test]
+    fn offset_and_skew_apply() {
+        let c = ClockModel {
+            offset: Duration::from_millis(5),
+            skew_ppm: 100.0, // 100 ppm fast
+            adjustments: vec![],
+        };
+        let t = Time::from_secs(100);
+        let stamped = c.stamp(t);
+        // 100 s * 100 ppm = 10 ms fast, plus 5 ms offset.
+        assert_eq!(stamped, Time(100_015_000_000));
+    }
+
+    #[test]
+    fn backward_step_creates_time_travel() {
+        let c = ClockModel {
+            offset: Duration::ZERO,
+            skew_ppm: 0.0,
+            adjustments: vec![(Time::from_secs(10), Duration::from_millis(-50))],
+        };
+        let before = c.stamp(Time(9_999_999_000));
+        let after = c.stamp(Time::from_secs(10));
+        assert!(after < before, "reading must decrease across the step");
+    }
+
+    #[test]
+    fn periodic_sync_builder_steps_back_repeatedly() {
+        let c = ClockModel::fast_with_periodic_sync(
+            200.0,
+            Duration::from_secs(10),
+            Duration::from_millis(2),
+            Time::from_secs(60),
+        );
+        assert_eq!(c.adjustments.len(), 6);
+        assert!(c.adjustments.iter().all(|&(_, d)| d.is_negative()));
+        // Just after each sync the reading dips below just before it.
+        let eps = Duration::from_micros(1);
+        let pre = c.stamp(Time::from_secs(10) - eps);
+        let post = c.stamp(Time::from_secs(10));
+        assert!(post < pre);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `tcpa-filter` — the packet-filter *measurement* simulator.
+//!
+//! The paper's §3 is about a hard-won lesson: the trace is not the truth.
+//! This crate manufactures realistic measurement error by transforming the
+//! perfect per-host wire records (`tcpa-netsim` taps) into the trace an
+//! imperfect packet filter would have written:
+//!
+//! * **drops** (§3.1.1) — records the filter failed to write, distinct
+//!   from genuine network drops;
+//! * **additions** (§3.1.2) — the IRIX 5.2/5.3 bug that records each
+//!   outgoing packet twice, the first copy paced at the OS sourcing rate
+//!   (~2.5 MB/s in Figure 1) and the second at the true Ethernet wire
+//!   time;
+//! * **resequencing** (§3.1.3) — the Solaris 2.3/2.4 two-code-path effect
+//!   where inbound packets queue longer than outbound ones before being
+//!   timestamped, scrambling cause and effect on sub-millisecond scales;
+//! * **timing** (§3.1.4) — clock offset, skew, and step adjustments; a
+//!   backward step yields "time travel" (timestamps that decrease);
+//! * **snap length** — header-only capture, which removes the ability to
+//!   verify TCP checksums (forcing §7's behavioral corruption inference).
+//!
+//! The output of [`apply`] is a [`Trace`](tcpa_trace::Trace) in *filter write order* with
+//! *filter clock timestamps* — exactly what `tcpanaly` must calibrate.
+
+pub mod clock;
+pub mod model;
+
+pub use clock::ClockModel;
+pub use model::{apply, DropModel, DupModel, FilterConfig, FilterReport, ReseqModel};

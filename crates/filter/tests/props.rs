@@ -1,0 +1,133 @@
+//! Property-based tests of the filter pipeline: whatever error processes
+//! are enabled, the measured trace is an accountable transformation of
+//! the wire events.
+
+use proptest::prelude::*;
+use tcpa_filter::{apply, ClockModel, DropModel, DupModel, FilterConfig, ReseqModel};
+use tcpa_netsim::{Packet, TapDir, TapEvent};
+use tcpa_trace::{Duration, Time};
+use tcpa_wire::{Ipv4Addr, SeqNum, TcpFlags, TcpRepr};
+
+fn arb_events() -> impl Strategy<Value = Vec<TapEvent>> {
+    proptest::collection::vec(
+        (0i64..5_000_000, any::<bool>(), any::<u16>(), 0u32..1460),
+        0..80,
+    )
+    .prop_map(|specs| {
+        let mut t = 0i64;
+        specs
+            .into_iter()
+            .map(|(gap_us, outbound, ident, len)| {
+                t += gap_us;
+                let (src, dst) = if outbound { (1, 2) } else { (2, 1) };
+                let mut tcp = TcpRepr::new(1000 + src as u16, 1000 + dst as u16);
+                tcp.flags = TcpFlags::ACK;
+                tcp.seq = SeqNum(u32::from(ident) * 1460);
+                let t_wire = Time::from_micros(t);
+                TapEvent {
+                    t_wire,
+                    t_stack: outbound.then(|| t_wire - Duration::from_micros(900)),
+                    dir: if outbound { TapDir::Out } else { TapDir::In },
+                    pkt: Packet::tcp(
+                        Ipv4Addr::from_host_id(src),
+                        Ipv4Addr::from_host_id(dst),
+                        ident,
+                        tcp,
+                        len,
+                    ),
+                }
+            })
+            .collect()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = FilterConfig> {
+    (
+        prop_oneof![
+            2 => Just(DropModel::None),
+            1 => (0.0f64..0.5).prop_map(DropModel::Bernoulli),
+            1 => (0usize..60, 0usize..20).prop_map(|(start, len)| DropModel::Burst { start, len }),
+            1 => proptest::collection::vec(0usize..80, 0..10).prop_map(DropModel::List),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        (-400.0f64..400.0, 0i64..100),
+        any::<bool>(),
+    )
+        .prop_map(|(drops, dup, reseq, (ppm, offset_ms), headers_only)| FilterConfig {
+            drops,
+            duplication: dup.then(DupModel::default),
+            resequencing: reseq.then(ReseqModel::default),
+            clock: ClockModel {
+                offset: Duration::from_millis(offset_ms),
+                skew_ppm: ppm,
+                adjustments: vec![],
+            },
+            headers_only,
+        })
+}
+
+proptest! {
+    /// Record accounting: measured = events − drops + duplicates, exactly.
+    #[test]
+    fn record_conservation(events in arb_events(), cfg in arb_config(), seed in any::<u64>()) {
+        let (trace, report) = apply(&events, &cfg, seed);
+        prop_assert_eq!(
+            trace.len(),
+            events.len() - report.dropped_indices.len() + report.duplicates_added
+        );
+    }
+
+    /// Filter write order is processing-time order: with a skew-only
+    /// clock (no steps), timestamps never decrease.
+    #[test]
+    fn monotone_without_steps(events in arb_events(), cfg in arb_config(), seed in any::<u64>()) {
+        prop_assume!((-1000.0..1000.0).contains(&cfg.clock.skew_ppm));
+        let (trace, _) = apply(&events, &cfg, seed);
+        for w in trace.records.windows(2) {
+            prop_assert!(w[1].ts >= w[0].ts, "{} then {}", w[0].ts, w[1].ts);
+        }
+    }
+
+    /// Headers-only capture hides every checksum; full capture hides none.
+    #[test]
+    fn checksum_visibility(events in arb_events(), mut cfg in arb_config(), seed in any::<u64>()) {
+        cfg.headers_only = true;
+        let (trace, _) = apply(&events, &cfg, seed);
+        prop_assert!(trace.iter().all(|r| r.checksum_ok.is_none()));
+        cfg.headers_only = false;
+        let (trace, _) = apply(&events, &cfg, seed);
+        prop_assert!(trace.iter().all(|r| r.checksum_ok.is_some()));
+    }
+
+    /// The same seed reproduces the same measured trace.
+    #[test]
+    fn filter_is_deterministic(events in arb_events(), cfg in arb_config(), seed in any::<u64>()) {
+        let (a, ra) = apply(&events, &cfg, seed);
+        let (b, rb) = apply(&events, &cfg, seed);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ra.dropped_indices, rb.dropped_indices);
+        prop_assert_eq!(ra.duplicates_added, rb.duplicates_added);
+    }
+
+    /// Without drops or duplication, every wire packet's headers survive
+    /// measurement unchanged (timestamps aside).
+    #[test]
+    fn headers_survive_measurement(events in arb_events(), seed in any::<u64>()) {
+        let cfg = FilterConfig::solaris_resequencing();
+        let (trace, _) = apply(&events, &cfg, seed);
+        prop_assert_eq!(trace.len(), events.len());
+        // Same multiset of (ident, seq) on both sides.
+        let mut want: Vec<(u16, u32)> = events
+            .iter()
+            .map(|e| (e.pkt.ident, match &e.pkt.kind {
+                tcpa_netsim::PacketKind::Tcp { tcp, .. } => tcp.seq.0,
+                _ => 0,
+            }))
+            .collect();
+        let mut got: Vec<(u16, u32)> = trace.iter().map(|r| (r.ip.ident, r.tcp.seq.0)).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(want, got);
+    }
+}

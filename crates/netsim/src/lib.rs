@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! `tcpa-netsim` — a deterministic discrete-event network simulator.
+//!
+//! This is the substrate standing in for the Internet paths of the paper's
+//! measurement study. It models:
+//!
+//! * **hosts** running a protocol [`Stack`] (the TCP endpoint simulators
+//!   from `tcpa-tcpsim`), each with a configurable packet-processing delay
+//!   — the source of the paper's *vantage point* ambiguities (§3.2);
+//! * **unidirectional links** with a bandwidth, propagation delay and a
+//!   drop-tail queue, plus injectable loss (Bernoulli or an exact drop
+//!   list) — enough to reproduce every path effect the paper's analysis
+//!   depends on (queueing, loss, high RTT);
+//! * **taps**: perfect per-host records of wire events, from which
+//!   `tcpa-filter` manufactures *imperfect* packet-filter traces;
+//! * **ground truth**: exactly which packets the network dropped, so tests
+//!   can check that the analyzer never confuses genuine network drops with
+//!   measurement drops (§3.1.1).
+//!
+//! Everything is deterministic: the only randomness comes from a seeded
+//! [`rng::SplitMix64`], and events at equal timestamps are ordered by
+//! insertion sequence.
+
+pub mod engine;
+pub mod link;
+pub mod packet;
+pub mod rng;
+pub mod stack;
+
+pub use engine::{perfect_trace, Engine, GroundTruth, HostId, NetBuilder, SimResults, TapDir, TapEvent};
+pub use link::{LinkParams, LossModel};
+pub use packet::{Packet, PacketKind};
+pub use stack::Stack;

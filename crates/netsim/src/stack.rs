@@ -1,0 +1,57 @@
+//! The protocol-stack interface hosts run.
+//!
+//! `tcpa-tcpsim` implements this trait for its TCP endpoints; this crate
+//! only defines the contract plus trivial stacks used in tests.
+
+use crate::packet::Packet;
+use tcpa_trace::Time;
+
+/// A protocol stack attached to a simulated host.
+///
+/// The engine drives the stack with three entry points and polls
+/// [`Stack::next_timer`] after each to (re)arm the host's timer event.
+/// Emitted packets are appended to `out`; the engine routes them onto the
+/// host's outgoing link.
+pub trait Stack {
+    /// Called once when the simulation starts (open a connection, start an
+    /// application, arm timers).
+    fn start(&mut self, _now: Time, _out: &mut Vec<Packet>) {}
+
+    /// Called when a packet reaches this host's stack (after the host's
+    /// processing delay).
+    fn on_packet(&mut self, now: Time, pkt: Packet, out: &mut Vec<Packet>);
+
+    /// Called when the timer most recently reported by
+    /// [`Stack::next_timer`] fires.
+    fn on_timer(&mut self, now: Time, out: &mut Vec<Packet>);
+
+    /// The next instant at which this stack wants [`Stack::on_timer`]
+    /// called, if any. Must be monotone with respect to the calls the
+    /// engine has already delivered (never in the past).
+    fn next_timer(&self) -> Option<Time>;
+
+    /// `true` when the stack has finished its work; the engine may stop
+    /// early once every stack is done and no packets are in flight.
+    fn done(&self) -> bool {
+        false
+    }
+
+    /// Downcast support so harnesses can recover concrete endpoint state
+    /// (statistics, final windows) after a run.
+    fn as_any(&self) -> &dyn core::any::Any;
+}
+
+/// A stack that discards everything. Useful as a traffic sink in tests.
+#[derive(Debug, Default)]
+pub struct NullStack;
+
+impl Stack for NullStack {
+    fn on_packet(&mut self, _now: Time, _pkt: Packet, _out: &mut Vec<Packet>) {}
+    fn on_timer(&mut self, _now: Time, _out: &mut Vec<Packet>) {}
+    fn next_timer(&self) -> Option<Time> {
+        None
+    }
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+}

@@ -1,0 +1,135 @@
+//! Edge cases of the engine: unroutable packets, stackless routers,
+//! timer rescheduling, and horizon clamping.
+
+use tcpa_netsim::stack::NullStack;
+use tcpa_netsim::{
+    Engine, LinkParams, NetBuilder, Packet, Stack, TapDir,
+};
+use tcpa_trace::{Duration, Time};
+use tcpa_wire::{Ipv4Addr, TcpFlags, TcpRepr};
+
+fn tcp_packet(src: Ipv4Addr, dst: Ipv4Addr) -> Packet {
+    let mut tcp = TcpRepr::new(1, 2);
+    tcp.flags = TcpFlags::ACK;
+    Packet::tcp(src, dst, 0, tcp, 100)
+}
+
+/// Sends one packet to a configurable destination at start.
+struct OneShot {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    got: usize,
+}
+
+impl Stack for OneShot {
+    fn start(&mut self, _now: Time, out: &mut Vec<Packet>) {
+        out.push(tcp_packet(self.src, self.dst));
+    }
+    fn on_packet(&mut self, _now: Time, _pkt: Packet, _out: &mut Vec<Packet>) {
+        self.got += 1;
+    }
+    fn on_timer(&mut self, _now: Time, _out: &mut Vec<Packet>) {}
+    fn next_timer(&self) -> Option<Time> {
+        None
+    }
+    fn done(&self) -> bool {
+        true
+    }
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+}
+
+fn two_hosts(dst_for_a: Ipv4Addr) -> (Engine, usize, usize) {
+    let a_addr = Ipv4Addr::from_host_id(1);
+    let b_addr = Ipv4Addr::from_host_id(2);
+    let (nb, a, b) = NetBuilder::two_endpoint_path(
+        a_addr,
+        b_addr,
+        Duration::from_micros(100),
+        LinkParams::wan(1_000_000, Duration::from_millis(10), 10),
+        LinkParams::wan(1_000_000, Duration::from_millis(10), 10),
+    );
+    let shooter = OneShot {
+        src: a_addr,
+        dst: dst_for_a,
+        got: 0,
+    };
+    let mut engine = nb.build(vec![(a, Box::new(shooter)), (b, Box::new(NullStack))], 1);
+    engine.enable_tap(a);
+    engine.enable_tap(b);
+    (engine, a, b)
+}
+
+#[test]
+fn unroutable_packet_silently_discarded() {
+    // Host A addresses a host that does not exist anywhere.
+    let (mut engine, a, b) = two_hosts(Ipv4Addr::new(203, 0, 113, 7));
+    engine.run();
+    assert!(engine.tap_events(a).is_empty(), "never reached any link");
+    assert!(engine.tap_events(b).is_empty());
+    assert_eq!(engine.ground_truth().total_drops(), 0);
+}
+
+#[test]
+fn packet_addressed_to_router_is_dropped_there() {
+    // The standard path's first router is 10.0.0.1 (stackless).
+    let (mut engine, a, b) = two_hosts(Ipv4Addr::new(10, 0, 0, 1));
+    engine.run();
+    // It crossed A's LAN (tap sees it leave) but goes no further.
+    let out = engine
+        .tap_events(a)
+        .iter()
+        .filter(|e| e.dir == TapDir::Out)
+        .count();
+    assert_eq!(out, 1);
+    assert!(engine.tap_events(b).is_empty());
+}
+
+#[test]
+fn run_until_respects_horizon() {
+    /// A stack that ticks forever.
+    struct Ticker {
+        ticks: u64,
+        next: Time,
+    }
+    impl Stack for Ticker {
+        fn start(&mut self, now: Time, _out: &mut Vec<Packet>) {
+            self.next = now + Duration::from_millis(100);
+        }
+        fn on_packet(&mut self, _now: Time, _pkt: Packet, _out: &mut Vec<Packet>) {}
+        fn on_timer(&mut self, now: Time, _out: &mut Vec<Packet>) {
+            self.ticks += 1;
+            self.next = now + Duration::from_millis(100);
+        }
+        fn next_timer(&self) -> Option<Time> {
+            Some(self.next)
+        }
+        fn as_any(&self) -> &dyn core::any::Any {
+            self
+        }
+    }
+    let mut nb = NetBuilder::new();
+    let h = nb.host(Ipv4Addr::from_host_id(1), Duration::ZERO);
+    let mut engine = nb.build(
+        vec![(
+            h,
+            Box::new(Ticker {
+                ticks: 0,
+                next: Time::ZERO,
+            }),
+        )],
+        1,
+    );
+    let end = engine.run_until(Time::from_secs(1));
+    assert!(end <= Time::from_secs(1));
+    let results = engine.into_results();
+    let ticker = results.stacks[h]
+        .as_deref()
+        .unwrap()
+        .as_any()
+        .downcast_ref::<Ticker>()
+        .unwrap();
+    // ~10 ticks in one second; never runs past the horizon.
+    assert!((8..=11).contains(&ticker.ticks), "{}", ticker.ticks);
+}

@@ -1,0 +1,367 @@
+//! Congestion-window arithmetic as pure functions of a [`TcpConfig`].
+//!
+//! These rules are consumed twice: by [`crate::endpoint::TcpEndpoint`]
+//! when *generating* traffic, and by the `tcpanaly` crate when *replaying*
+//! a trace to compute data liberations (§6.1). Keeping them pure and in
+//! one place is this reproduction's equivalent of the paper's "1,400 lines
+//! of C++ concerning the behavior of the different TCPs".
+
+use crate::config::{CwndIncrease, FastRecovery, QuenchResponse, TcpConfig};
+use tcpa_wire::SeqNum;
+
+/// A cap standing in for the "huge value" uninitialized memory provides in
+/// the Net/3 bug (§8.4). One gigabyte: far above any offered window.
+pub const HUGE_WINDOW: u64 = 1 << 30;
+
+/// Congestion-control state, shared between simulation and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcState {
+    /// Congestion window in bytes.
+    pub cwnd: u64,
+    /// Slow-start threshold in bytes.
+    pub ssthresh: u64,
+    /// Consecutive duplicate acks seen.
+    pub dup_acks: u32,
+    /// In Reno fast recovery.
+    pub in_recovery: bool,
+    /// `snd_max` at the time recovery was entered; an ack at or beyond it
+    /// ends recovery.
+    pub recover: SeqNum,
+}
+
+impl CcState {
+    /// Initial windows at connection establishment (§8.4).
+    ///
+    /// `peer_sent_mss` is whether the peer's SYN/SYN-ack carried an MSS
+    /// option — its absence triggers the Net/3 uninitialized-cwnd bug.
+    /// `mss` is the value from [`TcpConfig::cwnd_mss`].
+    pub fn at_establishment(cfg: &TcpConfig, mss: u32, peer_sent_mss: bool) -> CcState {
+        let (cwnd, ssthresh) = if cfg.uninit_cwnd_bug && !peer_sent_mss {
+            (HUGE_WINDOW, HUGE_WINDOW)
+        } else {
+            let cwnd = u64::from(cfg.initial_cwnd_segs) * u64::from(mss);
+            let ssthresh = match cfg.initial_ssthresh_segs {
+                Some(segs) => u64::from(segs) * u64::from(mss),
+                None => 65_535,
+            };
+            (cwnd, ssthresh)
+        };
+        CcState {
+            cwnd,
+            ssthresh,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: SeqNum::ZERO,
+        }
+    }
+
+    /// `true` if the next window increase uses slow start (§8.3: the
+    /// boundary test is itself a variant).
+    pub fn in_slow_start(&self, cfg: &TcpConfig) -> bool {
+        if cfg.ss_test_strict {
+            self.cwnd < self.ssthresh
+        } else {
+            self.cwnd <= self.ssthresh
+        }
+    }
+
+    /// Window opening applied when an ack for new data arrives
+    /// (§8.1 Eqn 1 / §8.2 Eqn 2).
+    pub fn open_window(&mut self, cfg: &TcpConfig, mss: u32) {
+        let mss = u64::from(mss);
+        let incr = if self.in_slow_start(cfg) {
+            mss
+        } else {
+            let mut i = mss * mss / self.cwnd.max(1);
+            if cfg.cwnd_increase == CwndIncrease::SuperLinear {
+                i += mss / 8;
+            }
+            i.max(1)
+        };
+        self.cwnd = (self.cwnd + incr).min(HUGE_WINDOW);
+    }
+
+    /// The new ssthresh after a loss signal, given the amount of data in
+    /// flight (§8.3: rounding and floor are variants).
+    pub fn cut_ssthresh(cfg: &TcpConfig, mss: u32, flight: u64) -> u64 {
+        let mss = u64::from(mss);
+        let mut half = flight / 2;
+        if cfg.ssthresh_round_down && mss > 0 {
+            half = half / mss * mss;
+        }
+        half.max(u64::from(cfg.min_ssthresh_segs) * mss)
+    }
+
+    /// Fast retransmit fires (dup-ack threshold reached). `flight` is the
+    /// lesser of cwnd and the offered window, `snd_max` the highest
+    /// sequence sent. Returns `true` if Reno-style recovery was entered
+    /// (the caller keeps transmitting on later dups), `false` for
+    /// Tahoe-style slow start (the caller resets `snd_nxt`).
+    pub fn enter_fast_retransmit(
+        &mut self,
+        cfg: &TcpConfig,
+        mss: u32,
+        flight: u64,
+        snd_max: SeqNum,
+    ) -> bool {
+        self.ssthresh = Self::cut_ssthresh(cfg, mss, flight);
+        match cfg.fast_recovery {
+            FastRecovery::Reno => {
+                self.cwnd = self.ssthresh + 3 * u64::from(mss);
+                self.in_recovery = true;
+                self.recover = snd_max;
+                true
+            }
+            FastRecovery::None | FastRecovery::RareBuggy => {
+                // §8.6: Solaris has recovery code but a logic bug keeps it
+                // from running; both collapse to Tahoe behavior.
+                self.cwnd = u64::from(mss);
+                self.in_recovery = false;
+                false
+            }
+        }
+    }
+
+    /// An additional dup ack while in Reno recovery inflates the window.
+    pub fn recovery_inflate(&mut self, mss: u32) {
+        debug_assert!(self.in_recovery);
+        self.cwnd = (self.cwnd + u64::from(mss)).min(HUGE_WINDOW);
+    }
+
+    /// An ack for new data ends recovery; deflation depends on the §8.3
+    /// bug flags.
+    pub fn exit_recovery(&mut self, cfg: &TcpConfig, mss: u32) {
+        debug_assert!(self.in_recovery);
+        self.in_recovery = false;
+        if cfg.header_prediction_bug {
+            // The fast path skipped the deflation entirely: cwnd stays
+            // inflated ([BP95] "failure to shrink the congestion window").
+        } else if cfg.fencepost_bug {
+            // Off-by-one: deflates, but one segment high.
+            self.cwnd = self.ssthresh + u64::from(mss);
+        } else {
+            self.cwnd = self.ssthresh;
+        }
+    }
+
+    /// Retransmission timeout: collapse to one segment and halve ssthresh.
+    pub fn on_timeout(&mut self, cfg: &TcpConfig, mss: u32, flight: u64) {
+        self.ssthresh = Self::cut_ssthresh(cfg, mss, flight);
+        self.cwnd = u64::from(mss);
+        self.in_recovery = false;
+        if cfg.clear_dupacks_on_timeout {
+            self.dup_acks = 0;
+        }
+    }
+
+    /// ICMP source quench received (§6.2).
+    pub fn on_quench(&mut self, cfg: &TcpConfig, mss: u32) {
+        match cfg.quench_response {
+            QuenchResponse::SlowStart => {
+                self.cwnd = u64::from(mss);
+            }
+            QuenchResponse::SlowStartCutSsthresh => {
+                self.ssthresh = (self.ssthresh / 2).max(u64::from(mss));
+                self.cwnd = u64::from(mss);
+            }
+            QuenchResponse::CwndDownOneSegment => {
+                self.cwnd = self.cwnd.saturating_sub(u64::from(mss)).max(u64::from(mss));
+            }
+            QuenchResponse::Ignore => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TcpConfig;
+
+    const MSS: u32 = 512;
+
+    fn fresh(cfg: &TcpConfig) -> CcState {
+        CcState::at_establishment(cfg, MSS, true)
+    }
+
+    #[test]
+    fn establishment_defaults() {
+        let cfg = TcpConfig::generic_reno();
+        let st = fresh(&cfg);
+        assert_eq!(st.cwnd, 512);
+        assert_eq!(st.ssthresh, 65_535);
+    }
+
+    #[test]
+    fn net3_bug_requires_missing_mss_option() {
+        let mut cfg = TcpConfig::generic_reno();
+        cfg.uninit_cwnd_bug = true;
+        let with_option = CcState::at_establishment(&cfg, MSS, true);
+        assert_eq!(with_option.cwnd, 512, "bug dormant when option present");
+        let without = CcState::at_establishment(&cfg, MSS, false);
+        assert_eq!(without.cwnd, HUGE_WINDOW);
+        assert_eq!(without.ssthresh, HUGE_WINDOW);
+    }
+
+    #[test]
+    fn linux_style_ssthresh_of_one_segment() {
+        let mut cfg = TcpConfig::generic_reno();
+        cfg.initial_ssthresh_segs = Some(1);
+        let st = fresh(&cfg);
+        assert_eq!(st.ssthresh, 512);
+        // cwnd == ssthresh: with the non-strict test this is still slow
+        // start for exactly one increase...
+        assert!(st.in_slow_start(&cfg));
+        // ...and with the strict test it is congestion avoidance already.
+        cfg.ss_test_strict = true;
+        assert!(!st.in_slow_start(&cfg));
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let cfg = TcpConfig::generic_reno();
+        let mut st = fresh(&cfg);
+        st.open_window(&cfg, MSS);
+        assert_eq!(st.cwnd, 1024, "one MSS per ack in slow start");
+    }
+
+    #[test]
+    fn congestion_avoidance_eqn1_vs_eqn2() {
+        let tahoe = TcpConfig::generic_tahoe();
+        let reno = TcpConfig::generic_reno();
+        let mut st1 = fresh(&tahoe);
+        st1.cwnd = 8192;
+        st1.ssthresh = 4096;
+        let mut st2 = st1.clone();
+        st1.open_window(&tahoe, MSS);
+        st2.open_window(&reno, MSS);
+        assert_eq!(st1.cwnd, 8192 + 512 * 512 / 8192); // Eqn 1
+        assert_eq!(st2.cwnd, 8192 + 512 * 512 / 8192 + 512 / 8); // Eqn 2
+    }
+
+    #[test]
+    fn ca_increase_never_zero() {
+        let cfg = TcpConfig::generic_tahoe();
+        let mut st = fresh(&cfg);
+        st.cwnd = 1 << 20; // mss²/cwnd rounds to 0
+        st.ssthresh = 1;
+        let before = st.cwnd;
+        st.open_window(&cfg, MSS);
+        assert_eq!(st.cwnd, before + 1, "minimum 1-byte increase");
+    }
+
+    #[test]
+    fn ssthresh_cut_floor_and_rounding() {
+        let mut cfg = TcpConfig::generic_reno();
+        assert_eq!(CcState::cut_ssthresh(&cfg, MSS, 10_000), 5_000);
+        cfg.ssthresh_round_down = true;
+        assert_eq!(CcState::cut_ssthresh(&cfg, MSS, 10_000), 4_608); // 9*512
+        assert_eq!(
+            CcState::cut_ssthresh(&cfg, MSS, 100),
+            2 * 512,
+            "floor of two segments"
+        );
+        cfg.min_ssthresh_segs = 1;
+        assert_eq!(CcState::cut_ssthresh(&cfg, MSS, 100), 512);
+    }
+
+    #[test]
+    fn reno_fast_retransmit_inflates_then_deflates() {
+        let cfg = TcpConfig::generic_reno();
+        let mut st = fresh(&cfg);
+        st.cwnd = 8192;
+        let entered = st.enter_fast_retransmit(&cfg, MSS, 8192, SeqNum(9000));
+        assert!(entered);
+        assert_eq!(st.ssthresh, 4096);
+        assert_eq!(st.cwnd, 4096 + 3 * 512);
+        st.recovery_inflate(MSS);
+        assert_eq!(st.cwnd, 4096 + 4 * 512);
+        st.exit_recovery(&cfg, MSS);
+        assert!(!st.in_recovery);
+        assert_eq!(st.cwnd, 4096);
+    }
+
+    #[test]
+    fn tahoe_fast_retransmit_collapses() {
+        let cfg = TcpConfig::generic_tahoe();
+        let mut st = fresh(&cfg);
+        st.cwnd = 8192;
+        let entered = st.enter_fast_retransmit(&cfg, MSS, 8192, SeqNum(9000));
+        assert!(!entered);
+        assert_eq!(st.cwnd, 512);
+        assert!(!st.in_recovery);
+    }
+
+    #[test]
+    fn deflation_bugs_observable() {
+        let mut cfg = TcpConfig::generic_reno();
+        let mut st = fresh(&cfg);
+        st.cwnd = 8192;
+        st.enter_fast_retransmit(&cfg, MSS, 8192, SeqNum(9000));
+        let inflated = st.cwnd;
+
+        let mut hdr = st.clone();
+        cfg.header_prediction_bug = true;
+        hdr.exit_recovery(&cfg, MSS);
+        assert_eq!(hdr.cwnd, inflated, "header-prediction bug: no deflation");
+
+        cfg.header_prediction_bug = false;
+        cfg.fencepost_bug = true;
+        let mut fence = st.clone();
+        fence.exit_recovery(&cfg, MSS);
+        assert_eq!(fence.cwnd, 4096 + 512, "fencepost: one segment high");
+    }
+
+    #[test]
+    fn timeout_resets_window() {
+        let cfg = TcpConfig::generic_reno();
+        let mut st = fresh(&cfg);
+        st.cwnd = 20_000;
+        st.dup_acks = 2;
+        st.on_timeout(&cfg, MSS, 20_000);
+        assert_eq!(st.cwnd, 512);
+        assert_eq!(st.ssthresh, 10_000);
+        assert_eq!(st.dup_acks, 0);
+    }
+
+    #[test]
+    fn dupack_counter_bug_survives_timeout() {
+        let mut cfg = TcpConfig::generic_reno();
+        cfg.clear_dupacks_on_timeout = false;
+        let mut st = fresh(&cfg);
+        st.dup_acks = 2;
+        st.on_timeout(&cfg, MSS, 4096);
+        assert_eq!(st.dup_acks, 2, "§8.3: counter not cleared on timeout");
+    }
+
+    #[test]
+    fn quench_responses_differ_per_lineage() {
+        let mss = MSS;
+        let mut bsd = fresh(&TcpConfig::generic_reno());
+        bsd.cwnd = 8192;
+        bsd.ssthresh = 8000;
+        let mut cfg = TcpConfig::generic_reno();
+        bsd.on_quench(&cfg, mss);
+        assert_eq!(bsd.cwnd, 512);
+        assert_eq!(bsd.ssthresh, 8000, "BSD leaves ssthresh alone");
+
+        cfg.quench_response = QuenchResponse::SlowStartCutSsthresh;
+        let mut sol = fresh(&cfg);
+        sol.cwnd = 8192;
+        sol.ssthresh = 8000;
+        sol.on_quench(&cfg, mss);
+        assert_eq!(sol.cwnd, 512);
+        assert_eq!(sol.ssthresh, 4000, "Solaris also halves ssthresh");
+
+        cfg.quench_response = QuenchResponse::CwndDownOneSegment;
+        let mut lin = fresh(&cfg);
+        lin.cwnd = 8192;
+        lin.on_quench(&cfg, mss);
+        assert_eq!(lin.cwnd, 8192 - 512, "Linux 1.0 shaves one segment");
+
+        cfg.quench_response = QuenchResponse::Ignore;
+        let mut ign = fresh(&cfg);
+        ign.cwnd = 8192;
+        ign.on_quench(&cfg, mss);
+        assert_eq!(ign.cwnd, 8192);
+    }
+}

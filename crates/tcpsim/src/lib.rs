@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! `tcpa-tcpsim` — configurable TCP endpoint simulators.
+//!
+//! This crate is the stand-in for the real TCP kernels of the paper's
+//! study (Table 1). A single state machine, [`TcpEndpoint`], implements
+//! connection establishment, reliable transfer, congestion control, RTO
+//! management and acknowledgment generation; a [`TcpConfig`] of behavior
+//! flags selects between the catalogued per-implementation variants and
+//! bugs:
+//!
+//! * §8.1/§8.2 — generic Tahoe and Reno congestion behavior (Eqn 1 vs the
+//!   super-linear Eqn 2 increase, fast retransmit, fast recovery);
+//! * §8.3 — the minor-variant matrix (header-prediction and fencepost
+//!   bugs, MSS confusion, ssthresh rounding, slow-start boundary test,
+//!   dup-ack bookkeeping bugs, cwnd initialized from the offered MSS);
+//! * §8.4 — the Net/3 uninitialized-cwnd bug;
+//! * §8.5 — Linux 1.0's broken retransmission (burst retransmission of
+//!   everything in flight, retransmitting on the first duplicate ack, no
+//!   fast retransmit, ssthresh initialized to one segment);
+//! * §8.6 — Solaris 2.3/2.4's broken RTO (≈300 ms initial value, reset to
+//!   that value on any ack covering retransmitted data) and its odd
+//!   retransmit-next-after-ack behavior;
+//! * §9 — receiver ack policies: the BSD 200 ms heartbeat, the Solaris
+//!   50 ms per-packet timer, and Linux 1.0's ack-every-packet;
+//! * §6.2 — the per-implementation responses to ICMP source quench;
+//! * §10 — reconstructions of the contributed implementations (Linux 2.0,
+//!   Windows 95, Trumpet/Winsock).
+//!
+//! The congestion arithmetic lives in [`congestion`] as *pure functions of
+//! the config*, because the analyzer in the `tcpanaly` crate replays the
+//! same rules against traces — one behavioral spec, two consumers.
+
+pub mod config;
+pub mod harness;
+pub mod congestion;
+pub mod endpoint;
+pub mod profiles;
+pub mod rtt;
+
+pub use config::{AckPolicy, CwndIncrease, FastRecovery, Lineage, QuenchResponse, RtoScheme, TcpConfig};
+pub use congestion::CcState;
+pub use harness::{run_transfer, run_transfer_with, Extras, PathSpec, TransferOutcome};
+pub use endpoint::{EndpointStats, Role, TcpEndpoint};
+pub use profiles::{all_profiles, profile_by_name};
+pub use rtt::RttEstimator;

@@ -1,0 +1,241 @@
+//! RTT estimation and retransmission-timeout computation.
+//!
+//! Implements the Jacobson/Karn estimator with a coarse clock tick (the
+//! BSD 500 ms slow timer), plus the broken Solaris variant (§8.6) and a
+//! fixed-RTO scheme for primitive stacks.
+
+use crate::config::{RtoScheme, TcpConfig};
+use tcpa_trace::Duration;
+
+/// Retransmission-timer state.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    scheme: RtoScheme,
+    granularity: Duration,
+    initial_rto: Duration,
+    min_rto: Duration,
+    max_rto: Duration,
+    backoff_factor: f64,
+    /// Smoothed RTT in nanoseconds (None until the first sample).
+    srtt: Option<f64>,
+    rttvar: f64,
+    /// Current backoff multiplier applied on successive timeouts.
+    backoff: f64,
+    samples_taken: u64,
+}
+
+impl RttEstimator {
+    /// Builds the estimator described by `cfg`.
+    pub fn new(cfg: &TcpConfig) -> RttEstimator {
+        RttEstimator {
+            scheme: cfg.rto_scheme,
+            granularity: cfg.rto_granularity,
+            initial_rto: cfg.initial_rto,
+            min_rto: cfg.min_rto,
+            max_rto: cfg.max_rto,
+            backoff_factor: cfg.rto_backoff,
+            srtt: None,
+            rttvar: 0.0,
+            backoff: 1.0,
+            samples_taken: 0,
+        }
+    }
+
+    /// Quantizes a duration up to the clock granularity.
+    fn quantize(&self, d: Duration) -> Duration {
+        let g = self.granularity.as_nanos().max(1);
+        let n = d.as_nanos().max(0);
+        Duration((n + g - 1) / g * g)
+    }
+
+    /// Feeds one RTT measurement (Karn's rule — only call for segments
+    /// sent exactly once).
+    pub fn sample(&mut self, rtt: Duration) {
+        if self.scheme == RtoScheme::Fixed {
+            return;
+        }
+        self.samples_taken += 1;
+        let m = self.quantize(rtt).as_nanos() as f64;
+        match self.srtt {
+            None => {
+                self.srtt = Some(m);
+                self.rttvar = m / 2.0;
+            }
+            Some(srtt) => {
+                // Jacobson gains: 1/8 for srtt, 1/4 for rttvar.
+                let err = m - srtt;
+                self.srtt = Some(srtt + err / 8.0);
+                self.rttvar += (err.abs() - self.rttvar) / 4.0;
+            }
+        }
+        self.backoff = 1.0;
+    }
+
+    /// An ack arrived covering retransmitted data. Under the Solaris bug
+    /// this *resets the estimator to its initial state*, erasing any
+    /// adaptation (§8.6: "restored to its erroneously small value
+    /// immediately upon an acknowledgement for a retransmitted packet").
+    pub fn on_ack_of_retransmitted(&mut self) {
+        if self.scheme == RtoScheme::SolarisBroken {
+            self.srtt = None;
+            self.rttvar = 0.0;
+            self.backoff = 1.0;
+        }
+    }
+
+    /// Successful ack of new (never-retransmitted) data clears backoff.
+    pub fn on_clean_ack(&mut self) {
+        self.backoff = 1.0;
+    }
+
+    /// A retransmission timeout fired: back off.
+    pub fn on_timeout(&mut self) {
+        self.backoff *= self.backoff_factor;
+    }
+
+    /// The current retransmission timeout.
+    pub fn rto(&self) -> Duration {
+        let base = match (self.scheme, self.srtt) {
+            (RtoScheme::Fixed, _) | (_, None) => self.initial_rto,
+            (_, Some(srtt)) => Duration((srtt + 4.0 * self.rttvar) as i64),
+        };
+        let backed = Duration((base.as_nanos() as f64 * self.backoff) as i64);
+        let clamped = backed.clamp(self.min_rto, self.max_rto);
+        self.quantize(clamped)
+    }
+
+    /// Number of samples incorporated (diagnostics).
+    pub fn samples(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// `true` once at least one sample has been incorporated.
+    pub fn adapted(&self) -> bool {
+        self.srtt.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TcpConfig;
+
+    fn bsd() -> RttEstimator {
+        RttEstimator::new(&TcpConfig::generic_reno())
+    }
+
+    fn solaris_cfg() -> TcpConfig {
+        TcpConfig {
+            rto_scheme: RtoScheme::SolarisBroken,
+            initial_rto: Duration::from_millis(300),
+            min_rto: Duration::from_millis(200),
+            rto_granularity: Duration::from_millis(50),
+            ..TcpConfig::generic_reno()
+        }
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        let est = bsd();
+        assert_eq!(est.rto(), Duration::from_millis(3000));
+        assert!(!est.adapted());
+    }
+
+    #[test]
+    fn first_sample_sets_srtt_and_var() {
+        let mut est = bsd();
+        est.sample(Duration::from_millis(400)); // quantized to 500ms
+        // rto = srtt + 4*rttvar = 500 + 4*250 = 1500ms
+        assert_eq!(est.rto(), Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn rto_adapts_upwards_with_high_rtt() {
+        let mut est = bsd();
+        for _ in 0..20 {
+            est.sample(Duration::from_millis(2600));
+        }
+        assert!(est.rto() >= Duration::from_millis(3000), "rto = {}", est.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_clears_on_sample() {
+        let mut est = bsd();
+        est.sample(Duration::from_millis(100)); // srtt 500ms tick
+        let base = est.rto();
+        est.on_timeout();
+        assert_eq!(est.rto(), est.quantize(base * 2));
+        est.on_timeout();
+        assert_eq!(est.rto(), est.quantize(base * 4));
+        est.sample(Duration::from_millis(100));
+        assert_eq!(est.rto(), base);
+    }
+
+    #[test]
+    fn rto_clamped_to_max() {
+        let mut est = bsd();
+        for _ in 0..20 {
+            est.on_timeout();
+        }
+        assert_eq!(est.rto(), Duration::from_secs(64));
+    }
+
+    #[test]
+    fn solaris_initial_rto_is_low() {
+        let est = RttEstimator::new(&solaris_cfg());
+        assert_eq!(est.rto(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn solaris_reset_erases_adaptation() {
+        let mut est = RttEstimator::new(&solaris_cfg());
+        for _ in 0..10 {
+            est.sample(Duration::from_millis(700));
+        }
+        assert!(est.rto() >= Duration::from_millis(700), "adapted upward");
+        est.on_ack_of_retransmitted();
+        assert_eq!(
+            est.rto(),
+            Duration::from_millis(300),
+            "reset to the erroneously small initial value"
+        );
+    }
+
+    #[test]
+    fn jacobson_estimator_ignores_retransmit_ack_reset() {
+        let mut est = bsd();
+        est.sample(Duration::from_millis(2600));
+        let adapted = est.rto();
+        est.on_ack_of_retransmitted();
+        assert_eq!(est.rto(), adapted, "only Solaris resets");
+    }
+
+    #[test]
+    fn fixed_scheme_never_adapts() {
+        let cfg = TcpConfig {
+            rto_scheme: RtoScheme::Fixed,
+            initial_rto: Duration::from_millis(1000),
+            min_rto: Duration::from_millis(1000),
+            rto_granularity: Duration::from_millis(100),
+            ..TcpConfig::generic_reno()
+        };
+        let mut est = RttEstimator::new(&cfg);
+        est.sample(Duration::from_millis(5000));
+        assert_eq!(est.rto(), Duration::from_millis(1000));
+        assert_eq!(est.samples(), 0);
+    }
+
+    #[test]
+    fn sub_granularity_backoff_still_grows() {
+        // Linux 1.0's partial backoff (factor < 2) must still increase.
+        let cfg = TcpConfig {
+            rto_backoff: 1.5,
+            ..TcpConfig::generic_reno()
+        };
+        let mut est = RttEstimator::new(&cfg);
+        let base = est.rto();
+        est.on_timeout();
+        assert!(est.rto() > base);
+        assert!(est.rto() < base * 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests on the shared behavior rules: congestion-window
+//! invariants under arbitrary event sequences, and RTO estimator bounds.
+
+use proptest::prelude::*;
+use tcpa_tcpsim::config::{RtoScheme, TcpConfig};
+use tcpa_tcpsim::congestion::{CcState, HUGE_WINDOW};
+use tcpa_tcpsim::profiles::all_profiles;
+use tcpa_tcpsim::rtt::RttEstimator;
+use tcpa_trace::Duration;
+use tcpa_wire::SeqNum;
+
+/// The congestion events a connection can experience.
+#[derive(Debug, Clone, Copy)]
+enum CcEvent {
+    Ack,
+    DupInflate,
+    FastRetransmit(u32),
+    Timeout(u32),
+    Quench,
+    ExitRecovery,
+}
+
+fn arb_event() -> impl Strategy<Value = CcEvent> {
+    prop_oneof![
+        5 => Just(CcEvent::Ack),
+        1 => Just(CcEvent::DupInflate),
+        1 => (1u32..64).prop_map(CcEvent::FastRetransmit),
+        1 => (1u32..64).prop_map(CcEvent::Timeout),
+        1 => Just(CcEvent::Quench),
+        1 => Just(CcEvent::ExitRecovery),
+    ]
+}
+
+fn apply(st: &mut CcState, cfg: &TcpConfig, mss: u32, ev: CcEvent) {
+    match ev {
+        CcEvent::Ack => {
+            if st.in_recovery {
+                st.exit_recovery(cfg, mss);
+            } else {
+                st.open_window(cfg, mss);
+            }
+        }
+        CcEvent::DupInflate => {
+            if st.in_recovery {
+                st.recovery_inflate(mss);
+            }
+        }
+        CcEvent::FastRetransmit(flight_segs) => {
+            let flight = u64::from(flight_segs) * u64::from(mss);
+            st.enter_fast_retransmit(cfg, mss, flight, SeqNum(flight_segs * mss));
+        }
+        CcEvent::Timeout(flight_segs) => {
+            st.on_timeout(cfg, mss, u64::from(flight_segs) * u64::from(mss));
+        }
+        CcEvent::Quench => st.on_quench(cfg, mss),
+        CcEvent::ExitRecovery => {
+            if st.in_recovery {
+                st.exit_recovery(cfg, mss);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Under any event sequence, for every profile: cwnd stays within
+    /// [1 byte, HUGE_WINDOW], ssthresh respects its configured floor, and
+    /// recovery state stays coherent.
+    #[test]
+    fn cwnd_invariants_hold_for_every_profile(
+        profile_idx in 0usize..32,
+        events in proptest::collection::vec(arb_event(), 0..200),
+        peer_sent_mss in any::<bool>(),
+    ) {
+        let profiles = all_profiles();
+        let cfg = &profiles[profile_idx % profiles.len()];
+        let mss = cfg.cwnd_mss(if peer_sent_mss { Some(1460) } else { None });
+        let mut st = CcState::at_establishment(cfg, mss, peer_sent_mss);
+        let floor = u64::from(cfg.min_ssthresh_segs) * u64::from(mss);
+        for ev in events {
+            let was_retx_cut = matches!(ev, CcEvent::FastRetransmit(_) | CcEvent::Timeout(_));
+            apply(&mut st, cfg, mss, ev);
+            prop_assert!(st.cwnd >= 1, "{}: cwnd reached 0", cfg.name);
+            prop_assert!(st.cwnd <= HUGE_WINDOW, "{}: cwnd overflow", cfg.name);
+            // Retransmission cuts respect the configured floor; the quench
+            // path has its own one-MSS floor (and Solaris *initializes*
+            // ssthresh to one MSS), so the invariant holds per-event, not
+            // globally.
+            if was_retx_cut {
+                prop_assert!(
+                    st.ssthresh >= floor,
+                    "{}: ssthresh {} under floor {} right after a cut",
+                    cfg.name, st.ssthresh, floor
+                );
+            }
+            prop_assert!(
+                st.ssthresh >= u64::from(mss),
+                "{}: ssthresh {} below one MSS", cfg.name, st.ssthresh
+            );
+            if st.in_recovery {
+                prop_assert!(
+                    cfg.fast_recovery == tcpa_tcpsim::config::FastRecovery::Reno,
+                    "{}: recovery without Reno recovery", cfg.name
+                );
+            }
+        }
+    }
+
+    /// The RTO always stays within the configured clamps, for arbitrary
+    /// interleavings of samples, timeouts and retransmit-ack resets.
+    #[test]
+    fn rto_always_clamped(
+        profile_idx in 0usize..32,
+        ops in proptest::collection::vec((0u8..3, 1i64..20_000), 0..100),
+    ) {
+        let profiles = all_profiles();
+        let cfg = &profiles[profile_idx % profiles.len()];
+        let mut est = RttEstimator::new(cfg);
+        // The initial RTO itself must respect the clamps up to
+        // quantization.
+        let g = cfg.rto_granularity;
+        let upper = Duration(((cfg.max_rto.as_nanos() + g.as_nanos() - 1) / g.as_nanos()) * g.as_nanos());
+        for (op, ms) in ops {
+            match op {
+                0 => est.sample(Duration::from_millis(ms)),
+                1 => est.on_timeout(),
+                _ => est.on_ack_of_retransmitted(),
+            }
+            let rto = est.rto();
+            prop_assert!(rto >= cfg.min_rto, "{}: rto {} below min", cfg.name, rto);
+            prop_assert!(rto <= upper, "{}: rto {} above max", cfg.name, rto);
+        }
+    }
+
+    /// Fixed-scheme estimators never move off the initial value, whatever
+    /// they observe (except clamped backoff).
+    #[test]
+    fn fixed_scheme_pins_rto(samples in proptest::collection::vec(1i64..60_000, 0..50)) {
+        let cfg = TcpConfig {
+            rto_scheme: RtoScheme::Fixed,
+            ..TcpConfig::generic_reno()
+        };
+        let mut est = RttEstimator::new(&cfg);
+        let initial = est.rto();
+        for ms in samples {
+            est.sample(Duration::from_millis(ms));
+            prop_assert_eq!(est.rto(), initial);
+        }
+    }
+
+    /// Solaris reset: after any history, one ack-of-retransmitted-data
+    /// restores the initial RTO exactly.
+    #[test]
+    fn solaris_reset_is_total(samples in proptest::collection::vec(100i64..10_000, 1..40)) {
+        let cfg = TcpConfig {
+            rto_scheme: RtoScheme::SolarisBroken,
+            initial_rto: Duration::from_millis(300),
+            min_rto: Duration::from_millis(200),
+            rto_granularity: Duration::from_millis(50),
+            ..TcpConfig::generic_reno()
+        };
+        let mut est = RttEstimator::new(&cfg);
+        let virgin = est.rto();
+        for ms in samples {
+            est.sample(Duration::from_millis(ms));
+        }
+        est.on_ack_of_retransmitted();
+        prop_assert_eq!(est.rto(), virgin);
+    }
+}

@@ -1,0 +1,172 @@
+//! Zero-window probing: a slow-reading application closes the offered
+//! window; the sender's persist timer probes it; window updates reopen
+//! it; the transfer still completes exactly.
+
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles;
+use tcpa_trace::{Connection, Dir, Duration};
+
+fn slow_reader(rate: u64) -> tcpa_tcpsim::TcpConfig {
+    let mut cfg = profiles::reno();
+    cfg.app_read_rate = Some(rate);
+    cfg
+}
+
+#[test]
+fn slow_reader_transfer_completes() {
+    // The app reads at 16 KB/s over a path that can carry far more: the
+    // window, not the network, is the bottleneck.
+    let out = run_transfer(
+        profiles::reno(),
+        slow_reader(16 * 1024),
+        &PathSpec::default(),
+        64 * 1024,
+        51,
+    );
+    assert!(out.completed, "window-limited transfer still completes");
+    assert_eq!(out.sender_stats.bytes_acked, 64 * 1024 + 1);
+    // The whole transfer takes about bytes/rate seconds.
+    assert!(
+        out.finished_at > tcpa_trace::Time::from_secs(3),
+        "app-limited pace, finished at {}",
+        out.finished_at
+    );
+}
+
+#[test]
+fn window_closes_and_probes_flow() {
+    // A very slow reader with a buffer that is an exact MSS multiple:
+    // the sender can fill it to the byte, the window hits zero, and the
+    // persist timer must carry the connection (drain of 2 MSS takes
+    // ~11 s, i.e. beyond the 5 s initial persist delay).
+    let mut receiver = slow_reader(512);
+    receiver.recv_window = 4 * 1460;
+    let out = run_transfer(profiles::reno(), receiver, &PathSpec::default(), 16 * 1024, 52);
+    assert!(out.completed);
+    assert!(
+        out.sender_stats.zero_window_probes > 0,
+        "persist timer must have fired"
+    );
+    // (At 512 B/s the app has drained a probe's worth by the time the
+    // 5 s persist fires, so probes are *accepted*; outright rejection is
+    // exercised by the frozen reader below.)
+    assert!(
+        out.receiver_stats.window_updates_sent > 0,
+        "reopened windows must be advertised"
+    );
+    // The advertised window collapses below one segment (a continuously
+    // draining reader rarely advertises exactly 0 at ack time; the
+    // frozen-reader test below pins the exact-zero case).
+    let conn = Connection::split(&out.sender_trace()).remove(0);
+    let tiny_wins = conn
+        .in_dir(Dir::ReceiverToSender)
+        .filter(|r| r.tcp.flags.ack() && !r.tcp.flags.syn() && u32::from(r.tcp.window) < 1460)
+        .count();
+    assert!(tiny_wins > 0, "receiver's window collapsed below one MSS");
+}
+
+#[test]
+fn persist_backoff_grows() {
+    // Freeze the reader entirely partway: probes must space out
+    // exponentially (5 s, 10 s, 20 s … capped).
+    let mut receiver = slow_reader(0); // frozen application
+    receiver.recv_window = 4 * 1460; // exact MSS multiple: closes fully
+    let mut extras = tcpa_tcpsim::harness::Extras::default();
+    extras.horizon = Some(tcpa_trace::Time::from_secs(120));
+    let out = tcpa_tcpsim::harness::run_transfer_with(
+        profiles::reno(),
+        receiver,
+        &PathSpec::default(),
+        32 * 1024,
+        53,
+        &extras,
+    );
+    // Not expected to complete in 120 s at 1 B/s; that's fine.
+    let conn = Connection::split(&out.sender_trace()).remove(0);
+    let probes: Vec<_> = conn
+        .in_dir(Dir::SenderToReceiver)
+        .filter(|r| r.payload_len == 1)
+        .map(|r| r.ts)
+        .collect();
+    assert!(probes.len() >= 3, "got {} probes", probes.len());
+    let gap1 = probes[1] - probes[0];
+    let gap2 = probes[2] - probes[1];
+    assert!(
+        gap2 > gap1 + Duration::from_secs(1),
+        "backoff must grow: {gap1} then {gap2}"
+    );
+    assert!(
+        out.receiver_stats.window_rejected > 0,
+        "a frozen reader discards probes into the shut window"
+    );
+    let zero_wins = conn
+        .in_dir(Dir::ReceiverToSender)
+        .filter(|r| r.tcp.flags.ack() && !r.tcp.flags.syn() && r.tcp.window == 0)
+        .count();
+    assert!(zero_wins > 0, "frozen reader advertises window 0");
+}
+
+#[test]
+fn fast_reader_is_unaffected() {
+    // A reader faster than the link never dents the window.
+    let out = run_transfer(
+        profiles::reno(),
+        slow_reader(10_000_000),
+        &PathSpec::default(),
+        64 * 1024,
+        54,
+    );
+    assert!(out.completed);
+    assert_eq!(out.sender_stats.zero_window_probes, 0);
+    let conn = Connection::split(&out.sender_trace()).remove(0);
+    assert!(conn
+        .in_dir(Dir::ReceiverToSender)
+        .all(|r| !r.tcp.flags.ack() || r.tcp.window > 0));
+}
+
+#[test]
+fn keepalives_probe_an_idle_connection() {
+    use tcpa_tcpsim::harness::{run_transfer_with, Extras};
+    // Sender pauses mid-transfer for 30 s; 5 s keep-alive interval.
+    let mut sender = profiles::reno();
+    sender.keepalive_interval = Some(Duration::from_secs(5));
+    let extras = Extras {
+        quench_at: vec![],
+        horizon: None,
+        sender_pause: Some((16 * 1024, Duration::from_secs(30))),
+    };
+    let out = run_transfer_with(
+        sender,
+        profiles::reno(),
+        &PathSpec::default(),
+        48 * 1024,
+        90,
+        &extras,
+    );
+    assert!(out.completed, "transfer resumes after the pause");
+    assert!(
+        out.sender_stats.keepalives_sent >= 3,
+        "~30 s idle / 5 s interval, got {}",
+        out.sender_stats.keepalives_sent
+    );
+    // Each probe drew a duplicate ack from the live peer.
+    let conn = Connection::split(&out.sender_trace()).remove(0);
+    let probes = conn
+        .in_dir(Dir::SenderToReceiver)
+        .filter(|r| !r.is_data() && !r.tcp.flags.syn() && !r.tcp.flags.fin())
+        .filter(|r| r.tcp.flags.ack())
+        .count();
+    assert!(probes >= 3, "probes on the wire: {probes}");
+}
+
+#[test]
+fn no_keepalives_without_idle_or_config() {
+    let out = run_transfer(
+        profiles::reno(),
+        profiles::reno(),
+        &PathSpec::default(),
+        48 * 1024,
+        91,
+    );
+    assert_eq!(out.sender_stats.keepalives_sent, 0);
+}

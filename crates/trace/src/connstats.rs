@@ -1,0 +1,177 @@
+//! Connection-level summary statistics — the numbers the paper's
+//! narrative quotes per connection ("this connection sent 317 packets,
+//! 117 of them retransmissions", §8.5).
+
+use crate::conn::{Connection, Dir};
+use crate::time::{Duration, Time};
+use tcpa_wire::SeqNum;
+
+/// Per-connection accounting derived purely from the trace.
+#[derive(Debug, Clone)]
+pub struct ConnStats {
+    /// Data packets sent (sender → receiver, payload > 0).
+    pub data_packets: usize,
+    /// Of those, packets whose sequence range had been covered before
+    /// (retransmissions, as judged from the trace alone).
+    pub retransmitted_packets: usize,
+    /// Unique payload bytes (highest sequence reached).
+    pub unique_bytes: u64,
+    /// Total payload bytes including retransmissions.
+    pub total_bytes: u64,
+    /// Pure acks from the receiver.
+    pub acks: usize,
+    /// First and last record times.
+    pub span: (Time, Time),
+    /// RTT of the handshake (SYN → SYN-ack at the initiator's vantage),
+    /// when both were captured.
+    pub syn_rtt: Option<Duration>,
+    /// Longest quiet period between consecutive records.
+    pub longest_silence: Duration,
+}
+
+impl ConnStats {
+    /// Computes the statistics for one connection. Returns `None` for an
+    /// empty connection.
+    pub fn of(conn: &Connection) -> Option<ConnStats> {
+        let first = conn.records.first()?.1.ts;
+        let last = conn.records.last()?.1.ts;
+
+        let mut data_packets = 0usize;
+        let mut retransmitted = 0usize;
+        let mut total_bytes = 0u64;
+        let mut highest: Option<SeqNum> = None;
+        let mut lowest: Option<SeqNum> = None;
+        let mut acks = 0usize;
+        let mut syn_at: Option<Time> = None;
+        let mut syn_rtt = None;
+        let mut longest_silence = Duration::ZERO;
+        let mut prev_ts: Option<Time> = None;
+
+        for (dir, rec) in &conn.records {
+            if let Some(p) = prev_ts {
+                let gap = rec.ts - p;
+                if gap > longest_silence {
+                    longest_silence = gap;
+                }
+            }
+            prev_ts = Some(rec.ts);
+            match dir {
+                Dir::SenderToReceiver => {
+                    if rec.tcp.flags.syn() {
+                        syn_at.get_or_insert(rec.ts);
+                    }
+                    if rec.is_data() {
+                        data_packets += 1;
+                        total_bytes += u64::from(rec.payload_len);
+                        let hi = rec.seq_hi();
+                        if highest.is_some_and(|h| !hi.after(h)) {
+                            retransmitted += 1;
+                        }
+                        highest = Some(highest.map_or(hi, |h| h.max(hi)));
+                        lowest = Some(lowest.map_or(rec.seq_lo(), |l| l.min(rec.seq_lo())));
+                    }
+                }
+                Dir::ReceiverToSender => {
+                    if rec.tcp.flags.syn() && rec.tcp.flags.ack() {
+                        if let (Some(t0), None) = (syn_at, syn_rtt) {
+                            syn_rtt = Some(rec.ts - t0);
+                        }
+                    }
+                    if rec.is_pure_ack() {
+                        acks += 1;
+                    }
+                }
+            }
+        }
+
+        let unique_bytes = match (lowest, highest) {
+            (Some(lo), Some(hi)) => (hi - lo).max(0) as u64,
+            _ => 0,
+        };
+        Some(ConnStats {
+            data_packets,
+            retransmitted_packets: retransmitted,
+            unique_bytes,
+            total_bytes,
+            acks,
+            span: (first, last),
+            syn_rtt,
+            longest_silence,
+        })
+    }
+
+    /// Elapsed time between the first and last record.
+    pub fn elapsed(&self) -> Duration {
+        self.span.1 - self.span.0
+    }
+
+    /// Goodput over the connection lifetime, bytes/second.
+    pub fn goodput(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.unique_bytes as f64 / secs
+        }
+    }
+
+    /// Fraction of data packets that were retransmissions.
+    pub fn retransmission_ratio(&self) -> f64 {
+        if self.data_packets == 0 {
+            0.0
+        } else {
+            self.retransmitted_packets as f64 / self.data_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_util::rec;
+    use crate::record::Trace;
+    use tcpa_wire::TcpFlags;
+
+    fn conn(v: Vec<crate::record::TraceRecord>) -> Connection {
+        Connection::split(&v.into_iter().collect::<Trace>()).remove(0)
+    }
+
+    #[test]
+    fn counts_and_ratio() {
+        let c = conn(vec![
+            rec(0, 1, 2, TcpFlags::SYN, 1000, 0, 0),
+            rec(80, 2, 1, TcpFlags::SYN | TcpFlags::ACK, 9000, 0, 1001),
+            rec(81, 1, 2, TcpFlags::ACK, 1001, 512, 9001),
+            rec(100, 1, 2, TcpFlags::ACK, 1513, 512, 9001),
+            rec(400, 1, 2, TcpFlags::ACK, 1001, 512, 9001), // retransmit
+            rec(500, 2, 1, TcpFlags::ACK, 9001, 0, 2025),
+        ]);
+        let s = ConnStats::of(&c).unwrap();
+        assert_eq!(s.data_packets, 3);
+        assert_eq!(s.retransmitted_packets, 1);
+        assert_eq!(s.total_bytes, 1536);
+        assert_eq!(s.unique_bytes, 1024);
+        assert_eq!(s.acks, 1);
+        assert_eq!(s.syn_rtt, Some(Duration::from_millis(80)));
+        assert!((s.retransmission_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.elapsed(), Duration::from_millis(500));
+        assert_eq!(s.longest_silence, Duration::from_millis(300));
+    }
+
+    #[test]
+    fn goodput_uses_unique_bytes() {
+        let c = conn(vec![
+            rec(0, 1, 2, TcpFlags::ACK, 0, 1000, 1),
+            rec(1000, 1, 2, TcpFlags::ACK, 0, 1000, 1), // pure repeat
+        ]);
+        let s = ConnStats::of(&c).unwrap();
+        assert_eq!(s.unique_bytes, 1000);
+        assert!((s.goodput() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        let trace = Trace::new();
+        assert!(Connection::split(&trace).is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Conversion between [`Trace`] and libpcap capture files.
+//!
+//! Writing synthesizes full Ethernet/IPv4/TCP frames (payload bytes are a
+//! deterministic pattern; a record marked corrupt gets one payload byte
+//! flipped so its TCP checksum genuinely fails). Reading parses frames and
+//! populates [`TraceRecord::checksum_ok`] — `Some(..)` when the full
+//! payload is present, `None` when the capture was snapped to headers, in
+//! which case the analyzer must infer corruption from behavior (§7).
+
+use crate::record::{Trace, TraceRecord};
+use crate::time::Time;
+use std::io::{Read, Write};
+use tcpa_wire::ethernet::{EtherType, EthernetRepr, MacAddr};
+use tcpa_wire::pcap::{PcapError, PcapReader, PcapWriter, LINKTYPE_ETHERNET};
+use tcpa_wire::{Ipv4Repr, TcpRepr, TsResolution, WireError};
+
+/// Builds the full frame bytes for one record (Ethernet + IP + TCP +
+/// synthetic payload).
+pub fn frame_bytes(rec: &TraceRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(rec.payload_len as usize);
+    // Deterministic pattern keyed to the sequence number so identical
+    // retransmissions carry identical bytes.
+    let base = rec.tcp.seq.0;
+    for i in 0..rec.payload_len {
+        payload.push((base.wrapping_add(i) & 0xff) as u8);
+    }
+
+    let mut tcp_bytes = Vec::new();
+    rec.tcp.emit(rec.ip.src, rec.ip.dst, &payload, &mut tcp_bytes);
+    if rec.checksum_ok == Some(false) {
+        // Flip a payload byte *after* the checksum was computed so the
+        // frame is genuinely corrupt on the wire.
+        let n = tcp_bytes.len();
+        assert!(
+            rec.payload_len > 0,
+            "cannot corrupt a zero-payload record without breaking headers"
+        );
+        tcp_bytes[n - 1] ^= 0x55;
+    }
+
+    let ip = Ipv4Repr {
+        payload_len: tcp_bytes.len(),
+        ..rec.ip
+    };
+    let mut frame = Vec::with_capacity(14 + 20 + tcp_bytes.len());
+    EthernetRepr {
+        dst: MacAddr::from_host_id(rec.ip.dst.0[3]),
+        src: MacAddr::from_host_id(rec.ip.src.0[3]),
+        ethertype: EtherType::Ipv4,
+    }
+    .emit(&mut frame);
+    ip.emit(&mut frame);
+    frame.extend_from_slice(&tcp_bytes);
+    frame
+}
+
+/// Writes `trace` as a pcap file. `snaplen` truncates captured bytes the
+/// way tcpdump's `-s` does (0 means capture everything).
+pub fn write_pcap<W: Write>(
+    trace: &Trace,
+    out: W,
+    resolution: TsResolution,
+    snaplen: u32,
+) -> std::io::Result<W> {
+    let effective_snap = if snaplen == 0 { u32::MAX } else { snaplen };
+    let mut writer = PcapWriter::new(out, resolution, LINKTYPE_ETHERNET, effective_snap)?;
+    for rec in trace.iter() {
+        let frame = frame_bytes(rec);
+        let orig_len = frame.len() as u32;
+        let keep = frame.len().min(effective_snap as usize);
+        // pcap timestamps are unsigned; clamp pathological negative stamps
+        // (real time-travel traces are produced in-memory, not via pcap).
+        let ts = rec.ts.as_nanos().max(0) as u64;
+        writer.write_record(ts, orig_len, &frame[..keep])?;
+    }
+    writer.finish()
+}
+
+/// Reads a pcap file into a [`Trace`]. Non-IPv4 and non-TCP frames are
+/// skipped (the paper's filters matched TCP packets only). Frames whose
+/// TCP header itself is truncated by the snap length are skipped too, with
+/// their count returned alongside the trace.
+pub fn read_pcap<R: Read>(input: R) -> Result<(Trace, usize), PcapError> {
+    let mut reader = PcapReader::new(input)?;
+    if reader.linktype() != LINKTYPE_ETHERNET {
+        return Err(PcapError::Format(WireError::BadValue));
+    }
+    let mut trace = Trace::new();
+    let mut skipped = 0usize;
+    while let Some(pkt) = reader.next_record()? {
+        let Ok((eth, ip_bytes)) = EthernetRepr::parse(&pkt.data) else {
+            skipped += 1;
+            continue;
+        };
+        if eth.ethertype != EtherType::Ipv4 {
+            skipped += 1;
+            continue;
+        }
+        // Lenient parse: snap lengths legitimately truncate the payload.
+        let Ok((ip, tcp_bytes)) = Ipv4Repr::parse_lenient(ip_bytes) else {
+            skipped += 1;
+            continue;
+        };
+        if ip.protocol != tcpa_wire::IpProtocol::Tcp {
+            skipped += 1;
+            continue;
+        }
+        let Ok((tcp, captured_payload)) = TcpRepr::parse(tcp_bytes) else {
+            skipped += 1;
+            continue;
+        };
+        let header_len = tcp.header_len();
+        let payload_len = (ip.payload_len.saturating_sub(header_len)) as u32;
+        // Full payload present iff the captured TCP segment length matches
+        // the IP claim; only then can the checksum be verified.
+        let checksum_ok = if captured_payload.len() == payload_len as usize
+            && pkt.orig_len as usize == pkt.data.len()
+        {
+            Some(TcpRepr::verify_checksum(ip.src, ip.dst, tcp_bytes))
+        } else {
+            None
+        };
+        trace.push(TraceRecord {
+            ts: Time(pkt.ts_nanos as i64),
+            ip,
+            tcp,
+            payload_len,
+            checksum_ok,
+        });
+    }
+    Ok((trace, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_util::rec;
+    use std::io::Cursor;
+    use tcpa_wire::TcpFlags;
+
+    fn sample_trace() -> Trace {
+        vec![
+            rec(0, 1, 2, TcpFlags::SYN, 100, 0, 0),
+            rec(5, 2, 1, TcpFlags::SYN | TcpFlags::ACK, 900, 0, 101),
+            rec(10, 1, 2, TcpFlags::ACK | TcpFlags::PSH, 101, 512, 901),
+            rec(20, 2, 1, TcpFlags::ACK, 901, 0, 613),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn full_capture_round_trip() {
+        let trace = sample_trace();
+        let bytes = write_pcap(&trace, Vec::new(), TsResolution::Nano, 0).unwrap();
+        let (read, skipped) = read_pcap(Cursor::new(bytes)).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(read.len(), trace.len());
+        for (orig, got) in trace.iter().zip(read.iter()) {
+            assert_eq!(got.ts, orig.ts);
+            assert_eq!(got.tcp, orig.tcp);
+            assert_eq!(got.payload_len, orig.payload_len);
+            assert_eq!(got.checksum_ok, Some(true));
+        }
+    }
+
+    #[test]
+    fn snapped_capture_yields_unknown_checksum() {
+        let trace = sample_trace();
+        // 68 bytes was tcpdump's classic default snap: eth(14)+ip(20)+tcp(20)+14.
+        let bytes = write_pcap(&trace, Vec::new(), TsResolution::Micro, 68).unwrap();
+        let (read, skipped) = read_pcap(Cursor::new(bytes)).unwrap();
+        assert_eq!(skipped, 0);
+        let data_rec = read.records.iter().find(|r| r.is_data()).unwrap();
+        assert_eq!(data_rec.payload_len, 512, "length comes from IP header");
+        assert_eq!(data_rec.checksum_ok, None, "payload cut, cannot verify");
+    }
+
+    #[test]
+    fn corrupt_record_fails_checksum_on_read() {
+        let mut trace = sample_trace();
+        trace.records[2].checksum_ok = Some(false);
+        let bytes = write_pcap(&trace, Vec::new(), TsResolution::Nano, 0).unwrap();
+        let (read, _) = read_pcap(Cursor::new(bytes)).unwrap();
+        assert_eq!(read.records[2].checksum_ok, Some(false));
+        assert_eq!(read.records[3].checksum_ok, Some(true));
+    }
+
+    #[test]
+    fn non_tcp_frames_skipped() {
+        let trace = sample_trace();
+        let mut bytes = write_pcap(&trace, Vec::new(), TsResolution::Nano, 0).unwrap();
+        // Append an ARP frame record by hand.
+        let mut arp_frame = Vec::new();
+        EthernetRepr {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::from_host_id(1),
+            ethertype: EtherType::Arp,
+        }
+        .emit(&mut arp_frame);
+        arp_frame.extend_from_slice(&[0u8; 28]);
+        let ts: u32 = 1;
+        bytes.extend_from_slice(&ts.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(arp_frame.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(arp_frame.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&arp_frame);
+        let (read, skipped) = read_pcap(Cursor::new(bytes)).unwrap();
+        assert_eq!(read.len(), 4);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn negative_timestamps_clamped_on_write() {
+        let mut trace = sample_trace();
+        trace.records[0].ts = Time(-5);
+        let bytes = write_pcap(&trace, Vec::new(), TsResolution::Nano, 0).unwrap();
+        let (read, _) = read_pcap(Cursor::new(bytes)).unwrap();
+        assert_eq!(read.records[0].ts, Time(0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Time/sequence-number plots.
+//!
+//! The paper's figures are all *sequence plots*: time on the x-axis, the
+//! upper sequence number of each data packet (solid squares) or ack
+//! (outlined squares) on the y-axis. This module extracts those series
+//! from a connection and renders a terminal-friendly ASCII version, which
+//! is what the reproduction's figure binaries print.
+
+use crate::conn::{Connection, Dir};
+use crate::time::Time;
+use tcpa_wire::SeqNum;
+
+/// The kind of a plot point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointKind {
+    /// A data packet (upper sequence number).
+    Data,
+    /// A data packet whose sequence range had been transmitted before —
+    /// a retransmission, as judged purely from the trace.
+    Retransmit,
+    /// A pure acknowledgment (ack number).
+    Ack,
+}
+
+/// One point of a sequence plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlotPoint {
+    /// Timestamp.
+    pub t: Time,
+    /// Upper sequence number (data) or ack number (acks), relative to the
+    /// connection's initial sequence number.
+    pub seq: u64,
+    /// Point kind.
+    pub kind: PointKind,
+}
+
+/// A full sequence plot for one connection.
+#[derive(Debug, Clone, Default)]
+pub struct SeqPlot {
+    /// Points in trace order.
+    pub points: Vec<PlotPoint>,
+}
+
+impl SeqPlot {
+    /// Extracts the sequence plot of `conn`, relative to the data sender's
+    /// initial sequence number (the SYN's sequence number if captured,
+    /// otherwise the lowest data sequence number seen).
+    pub fn extract(conn: &Connection) -> SeqPlot {
+        let isn = conn
+            .in_dir(Dir::SenderToReceiver)
+            .find(|r| r.tcp.flags.syn())
+            .map(|r| r.tcp.seq)
+            .or_else(|| {
+                conn.in_dir(Dir::SenderToReceiver)
+                    .filter(|r| r.is_data())
+                    .map(|r| r.tcp.seq)
+                    .min_by(|a, b| {
+                        if a.before(*b) {
+                            core::cmp::Ordering::Less
+                        } else if a == b {
+                            core::cmp::Ordering::Equal
+                        } else {
+                            core::cmp::Ordering::Greater
+                        }
+                    })
+            })
+            .unwrap_or(SeqNum::ZERO);
+
+        let rel = |s: SeqNum| -> u64 { (s - isn).max(0) as u64 };
+
+        let mut points = Vec::new();
+        let mut highest_sent: Option<SeqNum> = None;
+        for (dir, rec) in &conn.records {
+            match dir {
+                Dir::SenderToReceiver if rec.is_data() => {
+                    let hi = rec.seq_hi();
+                    let kind = match highest_sent {
+                        Some(h) if !hi.after(h) => PointKind::Retransmit,
+                        _ => PointKind::Data,
+                    };
+                    highest_sent = Some(match highest_sent {
+                        Some(h) => h.max(hi),
+                        None => hi,
+                    });
+                    points.push(PlotPoint {
+                        t: rec.ts,
+                        seq: rel(hi),
+                        kind,
+                    });
+                }
+                // SYN-acks are handshake traffic, not the ack series the
+                // paper's plots show.
+                Dir::ReceiverToSender if rec.tcp.flags.ack() && !rec.tcp.flags.syn() => {
+                    points.push(PlotPoint {
+                        t: rec.ts,
+                        seq: rel(rec.tcp.ack),
+                        kind: PointKind::Ack,
+                    });
+                }
+                _ => {}
+            }
+        }
+        SeqPlot { points }
+    }
+
+    /// Count of points of a given kind.
+    pub fn count(&self, kind: PointKind) -> usize {
+        self.points.iter().filter(|p| p.kind == kind).count()
+    }
+
+    /// Renders the plot as ASCII art: `#` data, `R` retransmission,
+    /// `o` ack. `width`/`height` are the plot area in characters.
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        assert!(width >= 2 && height >= 2, "plot area too small");
+        if self.points.is_empty() {
+            return String::from("(empty plot)\n");
+        }
+        let t_min = self.points.iter().map(|p| p.t).min().unwrap();
+        let t_max = self.points.iter().map(|p| p.t).max().unwrap();
+        let s_max = self.points.iter().map(|p| p.seq).max().unwrap().max(1);
+        let t_span = (t_max - t_min).as_nanos().max(1) as f64;
+
+        let mut grid = vec![vec![' '; width]; height];
+        for p in &self.points {
+            let x = (((p.t - t_min).as_nanos() as f64 / t_span) * (width - 1) as f64) as usize;
+            let y = ((p.seq as f64 / s_max as f64) * (height - 1) as f64) as usize;
+            let row = height - 1 - y.min(height - 1);
+            let ch = match p.kind {
+                PointKind::Data => '#',
+                PointKind::Retransmit => 'R',
+                PointKind::Ack => 'o',
+            };
+            let cell = &mut grid[row][x.min(width - 1)];
+            // Retransmissions are the most interesting; never overwrite one.
+            if *cell != 'R' {
+                *cell = ch;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "seq 0..{}  time {:.3}s..{:.3}s  (# data, R retransmit, o ack)\n",
+            s_max,
+            t_min.as_secs_f64(),
+            t_max.as_secs_f64()
+        ));
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_util::rec;
+    use crate::record::Trace;
+    use tcpa_wire::TcpFlags;
+
+    fn bulk_conn() -> Connection {
+        let trace: Trace = vec![
+            rec(0, 1, 2, TcpFlags::SYN, 1000, 0, 0),
+            rec(5, 2, 1, TcpFlags::SYN | TcpFlags::ACK, 5000, 0, 1001),
+            rec(10, 1, 2, TcpFlags::ACK, 1001, 512, 5001),
+            rec(20, 1, 2, TcpFlags::ACK, 1513, 512, 5001),
+            rec(30, 2, 1, TcpFlags::ACK, 5001, 0, 2025),
+            rec(40, 1, 2, TcpFlags::ACK, 1001, 512, 5001), // retransmit
+        ]
+        .into_iter()
+        .collect();
+        Connection::split(&trace).remove(0)
+    }
+
+    #[test]
+    fn extract_classifies_points() {
+        let plot = SeqPlot::extract(&bulk_conn());
+        assert_eq!(plot.count(PointKind::Data), 2);
+        assert_eq!(plot.count(PointKind::Retransmit), 1);
+        assert_eq!(plot.count(PointKind::Ack), 1);
+    }
+
+    #[test]
+    fn seq_is_relative_to_isn() {
+        let plot = SeqPlot::extract(&bulk_conn());
+        // First data packet: seq 1001 len 512, relative hi = 1513-1000 = 513.
+        let first_data = plot
+            .points
+            .iter()
+            .find(|p| p.kind == PointKind::Data)
+            .unwrap();
+        assert_eq!(first_data.seq, 513);
+    }
+
+    #[test]
+    fn render_contains_markers() {
+        let art = SeqPlot::extract(&bulk_conn()).render_ascii(40, 10);
+        assert!(art.contains('#'));
+        assert!(art.contains('R'));
+        assert!(art.contains('o'));
+        assert_eq!(art.lines().count(), 12); // header + 10 rows + axis
+    }
+
+    #[test]
+    fn empty_plot_renders_placeholder() {
+        let plot = SeqPlot { points: vec![] };
+        assert_eq!(plot.render_ascii(10, 5), "(empty plot)\n");
+    }
+
+    #[test]
+    fn isn_fallback_without_syn() {
+        // No SYN captured: relative to lowest data seq.
+        let trace: Trace = vec![
+            rec(0, 1, 2, TcpFlags::ACK, 9000, 100, 1),
+            rec(1, 1, 2, TcpFlags::ACK, 9100, 100, 1),
+        ]
+        .into_iter()
+        .collect();
+        let conn = Connection::split(&trace).remove(0);
+        let plot = SeqPlot::extract(&conn);
+        assert_eq!(plot.points[0].seq, 100);
+        assert_eq!(plot.points[1].seq, 200);
+    }
+}

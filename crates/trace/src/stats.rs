@@ -1,0 +1,280 @@
+//! Summary statistics used by the analyzer and the reproduction harness.
+//!
+//! tcpanaly compares candidate TCP implementations using statistics of
+//! *response delays* (§6.1: minimum and mean response times) and reports
+//! ack-delay *distributions* (§9.1: BSD's uniform 0–200 ms spread). These
+//! helpers keep that logic in one place.
+
+use crate::time::Duration;
+
+/// Running summary of a set of durations: count, min, max, mean and a few
+/// percentiles (computed exactly; samples are retained).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, d: Duration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<Duration> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Arithmetic mean, if any samples exist.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: i128 = self.samples.iter().map(|d| i128::from(d.0)).sum();
+        Some(Duration((sum / self.samples.len() as i128) as i64))
+    }
+
+    /// Exact percentile by nearest-rank (p in [0, 100]).
+    pub fn percentile(&mut self, p: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+        Some(self.samples[rank.min(n) - 1])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<Duration> {
+        self.percentile(50.0)
+    }
+
+    /// The index of the largest sample, if any — tcpanaly flags the
+    /// *location* of the largest response delay to pinpoint where an
+    /// implementation model disagrees with a trace (§6.1).
+    pub fn argmax(&self) -> Option<usize> {
+        self.samples
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| **d)
+            .map(|(i, _)| i)
+    }
+
+    /// Borrow of the raw samples, in insertion order unless a percentile
+    /// has been computed since the last insertion.
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
+    }
+}
+
+/// A fixed-bin histogram over durations, for reporting distributions such
+/// as §9.1's delayed-ack latencies.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: Duration,
+    bin_width: Duration,
+    bins: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above the top edge.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `n_bins` bins of width `bin_width`, starting
+    /// at `lo`.
+    pub fn new(lo: Duration, bin_width: Duration, n_bins: usize) -> Histogram {
+        assert!(bin_width.0 > 0, "bin width must be positive");
+        assert!(n_bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            bin_width,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, d: Duration) {
+        if d < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((d.0 - self.lo.0) / self.bin_width.0) as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The `[lo, hi)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (Duration, Duration) {
+        let lo = Duration(self.lo.0 + self.bin_width.0 * i as i64);
+        (lo, lo + self.bin_width)
+    }
+
+    /// Coefficient of variation of the bin counts — a cheap uniformity
+    /// check. A uniform distribution over the bins has CV near 0; a
+    /// point-mass puts nearly everything in one bin (CV ≈ √n). Used to
+    /// distinguish BSD's even 0–200 ms delayed-ack spread from Linux 1.0's
+    /// ≈1 ms point mass (§9.1).
+    pub fn cv(&self) -> f64 {
+        let n = self.bins.len() as f64;
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mean = total / n;
+        let var = self
+            .bins
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// A one-line bar rendering for reports.
+    pub fn render(&self) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar_len = (count * 50 / max) as usize;
+            out.push_str(&format!(
+                "{:>10} - {:>10} | {:<50} {}\n",
+                lo.to_string(),
+                hi.to_string(),
+                "#".repeat(bar_len),
+                count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for ms in [10, 20, 30, 40] {
+            s.add(Duration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), Some(Duration::from_millis(10)));
+        assert_eq!(s.max(), Some(Duration::from_millis(40)));
+        assert_eq!(s.mean(), Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn summary_percentiles_nearest_rank() {
+        let mut s = Summary::new();
+        for ms in 1..=100 {
+            s.add(Duration::from_millis(ms));
+        }
+        assert_eq!(s.percentile(50.0), Some(Duration::from_millis(50)));
+        assert_eq!(s.percentile(95.0), Some(Duration::from_millis(95)));
+        assert_eq!(s.percentile(100.0), Some(Duration::from_millis(100)));
+        assert_eq!(s.percentile(0.0), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        let mut s = Summary::new();
+        assert!(s.mean().is_none());
+        assert!(s.percentile(50.0).is_none());
+        assert!(s.argmax().is_none());
+    }
+
+    #[test]
+    fn summary_argmax_points_at_largest() {
+        let mut s = Summary::new();
+        s.add(Duration::from_millis(5));
+        s.add(Duration::from_millis(50));
+        s.add(Duration::from_millis(7));
+        assert_eq!(s.argmax(), Some(1));
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(Duration::ZERO, Duration::from_millis(50), 4);
+        h.add(Duration::from_millis(-1)); // underflow
+        h.add(Duration::from_millis(0));
+        h.add(Duration::from_millis(49));
+        h.add(Duration::from_millis(50));
+        h.add(Duration::from_millis(199));
+        h.add(Duration::from_millis(200)); // overflow
+        assert_eq!(h.bins(), &[2, 1, 0, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(
+            h.bin_range(1),
+            (Duration::from_millis(50), Duration::from_millis(100))
+        );
+    }
+
+    #[test]
+    fn histogram_cv_separates_uniform_from_point_mass() {
+        let mut uniform = Histogram::new(Duration::ZERO, Duration::from_millis(10), 20);
+        let mut point = Histogram::new(Duration::ZERO, Duration::from_millis(10), 20);
+        for i in 0..200 {
+            uniform.add(Duration::from_millis(i % 200));
+            point.add(Duration::from_millis(1));
+        }
+        assert!(uniform.cv() < 0.3, "uniform cv = {}", uniform.cv());
+        assert!(point.cv() > 3.0, "point cv = {}", point.cv());
+    }
+
+    #[test]
+    fn histogram_render_has_bin_per_line() {
+        let mut h = Histogram::new(Duration::ZERO, Duration::from_millis(100), 2);
+        h.add(Duration::from_millis(10));
+        let rendered = h.render();
+        assert_eq!(rendered.lines().count(), 2);
+    }
+}

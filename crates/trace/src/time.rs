@@ -1,0 +1,254 @@
+//! Nanosecond time types.
+//!
+//! [`Time`] is an instant on a *trace clock* — whatever clock the packet
+//! filter stamped records with. It is signed and totally ordered, but
+//! nothing guarantees that successive records have non-decreasing stamps:
+//! detecting violations of that ("time travel", §3.1.4) is one of the
+//! analyzer's calibration jobs, so the type must be able to represent them.
+//!
+//! [`Duration`] is a signed difference of two `Time`s. Negative durations
+//! are meaningful (a response that *appears* to precede its stimulus is the
+//! signature of filter resequencing, §3.1.3).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An instant in nanoseconds on a trace clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub i64);
+
+/// A signed span of time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub i64);
+
+impl Time {
+    /// The zero instant (trace epoch).
+    pub const ZERO: Time = Time(0);
+
+    /// Builds an instant from whole seconds since the trace epoch.
+    pub const fn from_secs(s: i64) -> Time {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Builds an instant from milliseconds.
+    pub const fn from_millis(ms: i64) -> Time {
+        Time(ms * 1_000_000)
+    }
+
+    /// Builds an instant from microseconds.
+    pub const fn from_micros(us: i64) -> Time {
+        Time(us * 1_000)
+    }
+
+    /// Seconds since the trace epoch, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanoseconds since the trace epoch.
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from whole seconds.
+    pub const fn from_secs(s: i64) -> Duration {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn from_millis(ms: i64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Builds a duration from microseconds.
+    pub const fn from_micros(us: i64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// The duration as fractional seconds (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration as fractional milliseconds (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Nanoseconds.
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// `true` when the span is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Absolute value.
+    pub const fn abs(self) -> Duration {
+        Duration(self.0.abs())
+    }
+
+    /// The time it takes to transmit `bytes` at `rate_bps` bits per second
+    /// (rounded to the nearest nanosecond). Used throughout the link
+    /// simulator.
+    pub fn transmission(bytes: u64, rate_bps: u64) -> Duration {
+        assert!(rate_bps > 0, "link rate must be positive");
+        let bits = bytes as u128 * 8;
+        Duration(((bits * 1_000_000_000 + u128::from(rate_bps) / 2) / u128::from(rate_bps)) as i64)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+    fn neg(self) -> Duration {
+        Duration(-self.0)
+    }
+}
+
+impl Mul<i64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: i64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: i64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let abs = self.0.abs();
+        if abs >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if abs >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if abs >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Time::from_millis(1500);
+        let d = Duration::from_micros(250);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - (t + d), -d);
+    }
+
+    #[test]
+    fn negative_durations_representable() {
+        let earlier = Time::from_secs(10);
+        let later = Time::from_secs(11);
+        let d = earlier - later;
+        assert!(d.is_negative());
+        assert_eq!(d.abs(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn transmission_time_examples() {
+        // 1500 bytes at 10 Mb/s = 1.2 ms.
+        assert_eq!(
+            Duration::transmission(1500, 10_000_000),
+            Duration::from_micros(1200)
+        );
+        // 512 bytes at 64 kb/s = 64 ms.
+        assert_eq!(
+            Duration::transmission(512, 64_000),
+            Duration::from_millis(64)
+        );
+        assert_eq!(Duration::transmission(0, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Duration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(Duration::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(Duration::from_micros(7).to_string(), "7.000us");
+        assert_eq!(Duration(42).to_string(), "42ns");
+        assert_eq!(Duration::from_millis(-3).to_string(), "-3.000ms");
+    }
+
+    #[test]
+    fn scaling_operators() {
+        assert_eq!(Duration::from_millis(10) * 3, Duration::from_millis(30));
+        assert_eq!(Duration::from_millis(30) / 3, Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the trace model: pcap round-trips for
+//! arbitrary record sets, statistics invariants, and connection-split
+//! conservation.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use tcpa_trace::{pcap_io, Connection, Duration, Histogram, Summary, Time, Trace, TraceRecord};
+use tcpa_wire::{IpProtocol, Ipv4Addr, Ipv4Repr, SeqNum, TcpFlags, TcpRepr, TsResolution};
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0i64..10_000_000_000,  // ts nanos
+        0u8..4,                // src host
+        0u8..4,                // dst host
+        any::<u16>(),          // ident
+        any::<u32>(),          // seq
+        0u32..2048,            // payload
+        any::<u32>(),          // ack
+        any::<u16>(),          // window
+        0u8..32,               // flags (skip URG)
+    )
+        .prop_filter("src != dst", |(_, s, d, ..)| s != d)
+        .prop_map(
+            |(ts, src, dst, ident, seq, len, ack, window, flags)| TraceRecord {
+                ts: Time(ts),
+                ip: Ipv4Repr {
+                    src: Ipv4Addr::from_host_id(src),
+                    dst: Ipv4Addr::from_host_id(dst),
+                    protocol: IpProtocol::Tcp,
+                    ttl: 64,
+                    ident,
+                    payload_len: 20 + len as usize,
+                },
+                tcp: TcpRepr {
+                    seq: SeqNum(seq),
+                    ack: SeqNum(ack),
+                    flags: TcpFlags(flags | TcpFlags::ACK.0),
+                    window,
+                    ..TcpRepr::new(1000 + u16::from(src), 1000 + u16::from(dst))
+                },
+                payload_len: len,
+                checksum_ok: Some(true),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pcap_round_trip_preserves_headers(records in proptest::collection::vec(arb_record(), 0..40)) {
+        let trace: Trace = records.into_iter().collect();
+        let bytes = pcap_io::write_pcap(&trace, Vec::new(), TsResolution::Nano, 0).unwrap();
+        let (read, skipped) = pcap_io::read_pcap(Cursor::new(bytes)).unwrap();
+        prop_assert_eq!(skipped, 0);
+        prop_assert_eq!(read.len(), trace.len());
+        for (a, b) in trace.iter().zip(read.iter()) {
+            prop_assert_eq!(&a.tcp, &b.tcp);
+            prop_assert_eq!(a.payload_len, b.payload_len);
+            prop_assert_eq!(a.ip.src, b.ip.src);
+            prop_assert_eq!(a.ip.ident, b.ip.ident);
+            prop_assert_eq!(a.ts, b.ts);
+        }
+    }
+
+    #[test]
+    fn connection_split_conserves_records(records in proptest::collection::vec(arb_record(), 0..60)) {
+        let trace: Trace = records.into_iter().collect();
+        let conns = Connection::split(&trace);
+        let total: usize = conns.iter().map(|c| c.records.len()).sum();
+        prop_assert_eq!(total, trace.len());
+        // Each record's direction tags are consistent with its endpoints.
+        for conn in &conns {
+            for (dir, rec) in &conn.records {
+                let src = (rec.ip.src, rec.tcp.src_port);
+                match dir {
+                    tcpa_trace::Dir::SenderToReceiver => {
+                        prop_assert_eq!(src, (conn.sender.addr, conn.sender.port))
+                    }
+                    tcpa_trace::Dir::ReceiverToSender => {
+                        prop_assert_eq!(src, (conn.receiver.addr, conn.receiver.port))
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_moments_bounded(samples in proptest::collection::vec(-1_000_000_000i64..1_000_000_000, 1..200)) {
+        let mut s = Summary::new();
+        for &v in &samples {
+            s.add(Duration(v));
+        }
+        let min = s.min().unwrap();
+        let max = s.max().unwrap();
+        let mean = s.mean().unwrap();
+        prop_assert!(min <= mean && mean <= max);
+        prop_assert_eq!(s.count(), samples.len());
+        // Percentiles are monotone and within [min, max].
+        let mut prev = min;
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = s.percentile(p).unwrap();
+            prop_assert!(v >= prev, "percentile({p}) went backwards");
+            prop_assert!(v >= min && v <= max);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_samples(samples in proptest::collection::vec(-50i64..500, 0..200)) {
+        let mut h = Histogram::new(Duration::ZERO, Duration::from_millis(50), 8);
+        for &v in &samples {
+            h.add(Duration::from_millis(v));
+        }
+        prop_assert_eq!(
+            h.total() + h.underflow + h.overflow,
+            samples.len() as u64
+        );
+        prop_assert_eq!(h.underflow, samples.iter().filter(|&&v| v < 0).count() as u64);
+        prop_assert_eq!(h.overflow, samples.iter().filter(|&&v| v >= 400).count() as u64);
+    }
+
+    #[test]
+    fn rebase_preserves_gaps(records in proptest::collection::vec(arb_record(), 1..40)) {
+        let mut trace: Trace = records.into_iter().collect();
+        let gaps: Vec<_> = trace
+            .records
+            .windows(2)
+            .map(|w| w[1].ts - w[0].ts)
+            .collect();
+        trace.rebase();
+        prop_assert_eq!(trace.records[0].ts, Time::ZERO);
+        let new_gaps: Vec<_> = trace
+            .records
+            .windows(2)
+            .map(|w| w[1].ts - w[0].ts)
+            .collect();
+        prop_assert_eq!(gaps, new_gaps);
+    }
+
+    #[test]
+    fn seq_plot_points_bounded(records in proptest::collection::vec(arb_record(), 1..60)) {
+        let trace: Trace = records.into_iter().collect();
+        for conn in Connection::split(&trace) {
+            let plot = tcpa_trace::plot::SeqPlot::extract(&conn);
+            // Rendering never panics regardless of contents.
+            let _ = plot.render_ascii(40, 10);
+            prop_assert!(plot.points.len() <= conn.records.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ConnStats invariants. Timestamps are sorted (traces are written in
+    /// filter order); sequence numbers remain arbitrary, so the byte
+    /// accounting is only sanity-checked, not related across the wrap.
+    #[test]
+    fn connstats_invariants(mut records in proptest::collection::vec(arb_record(), 1..60)) {
+        records.sort_by_key(|r| r.ts);
+        let trace: Trace = records.into_iter().collect();
+        for conn in Connection::split(&trace) {
+            let Some(s) = tcpa_trace::ConnStats::of(&conn) else { continue };
+            prop_assert!(s.retransmitted_packets <= s.data_packets);
+            prop_assert!(s.elapsed().as_nanos() >= 0);
+            prop_assert!(s.longest_silence <= s.elapsed());
+            prop_assert!(s.goodput() >= 0.0);
+            prop_assert!(s.retransmission_ratio() >= 0.0 && s.retransmission_ratio() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The Internet checksum (RFC 1071) used by IPv4, TCP and ICMP.
+//!
+//! The checksum is the 16-bit ones'-complement of the ones'-complement sum
+//! of the data, taken in big-endian 16-bit words with an implicit zero pad
+//! byte when the length is odd.
+
+/// Incremental ones'-complement accumulator.
+///
+/// Sections of a packet (pseudo-header, header, payload) can be folded in
+/// one after another; [`Checksum::finish`] produces the final checksum
+/// field value.
+///
+/// ```
+/// use tcpa_wire::checksum::Checksum;
+/// let mut ck = Checksum::new();
+/// ck.add_bytes(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]);
+/// assert_eq!(ck.finish(), !0xddf2u16);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Creates an accumulator with a zero running sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a byte slice into the running sum. Odd-length slices are
+    /// padded with a zero byte, per RFC 1071; callers must therefore only
+    /// pass odd-length slices as the *final* section.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Folds one big-endian 16-bit word into the running sum.
+    pub fn add_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Folds a 32-bit value as two 16-bit words.
+    pub fn add_u32(&mut self, word: u32) {
+        self.add_u16((word >> 16) as u16);
+        self.add_u16(word as u16);
+    }
+
+    /// Reduces the running sum and returns the checksum field value
+    /// (the complement of the folded sum).
+    pub fn finish(mut self) -> u16 {
+        while self.sum > 0xffff {
+            self.sum = (self.sum & 0xffff) + (self.sum >> 16);
+        }
+        !(self.sum as u16)
+    }
+}
+
+/// Computes the checksum of a single contiguous buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut ck = Checksum::new();
+    ck.add_bytes(data);
+    ck.finish()
+}
+
+/// Verifies a buffer whose checksum field is *included* in `data`.
+///
+/// A correct buffer folds to `0xffff` before complementing, i.e. the
+/// computed checksum over the whole buffer is zero.
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_reference_vector() {
+        // Example from RFC 1071 §3: words 0001 f203 f4f5 f6f7 sum to ddf2
+        // (after folding), so the checksum field is !0xddf2 = 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), !0xab00);
+        assert_eq!(checksum(&[0xab, 0x00]), !0xab00);
+    }
+
+    #[test]
+    fn empty_buffer_checksums_to_all_ones() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06];
+        // Insert a checksum so the whole buffer verifies.
+        let ck = checksum(&data);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn incremental_equals_contiguous() {
+        let data: Vec<u8> = (0u16..200).map(|i| (i * 7) as u8).collect();
+        let mut inc = Checksum::new();
+        inc.add_bytes(&data[..100]);
+        inc.add_bytes(&data[100..]);
+        assert_eq!(inc.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn carry_folding_handles_saturation() {
+        // 40 000 words of 0xffff forces multiple folds.
+        let data = vec![0xff; 80_000];
+        assert_eq!(checksum(&data), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Ethernet II framing.
+//!
+//! The simulators frame every packet as Ethernet II so that the pcap files
+//! they produce use the ubiquitous `LINKTYPE_ETHERNET` (1) and can be opened
+//! by standard tools.
+
+use crate::{Result, WireError};
+use core::fmt;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A locally-administered unicast address derived from a small host id,
+    /// handy for simulators: `02:00:00:00:00:<id>`.
+    pub fn from_host_id(id: u8) -> MacAddr {
+        MacAddr([0x02, 0, 0, 0, 0, id])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// The EtherType field values this crate understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`) — recognized but never emitted by the simulators.
+    Arp,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(other) => other,
+        }
+    }
+}
+
+/// Length of the Ethernet II header in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// A decoded Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+}
+
+impl EthernetRepr {
+    /// Parses the header from the front of `frame`, returning the header
+    /// and the payload slice.
+    pub fn parse(frame: &[u8]) -> Result<(EthernetRepr, &[u8])> {
+        if frame.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&frame[0..6]);
+        src.copy_from_slice(&frame[6..12]);
+        let ethertype = u16::from_be_bytes([frame[12], frame[13]]).into();
+        Ok((
+            EthernetRepr {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            &frame[HEADER_LEN..],
+        ))
+    }
+
+    /// Appends the encoded header to `buf`.
+    pub fn emit(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.dst.0);
+        buf.extend_from_slice(&self.src.0);
+        buf.extend_from_slice(&u16::from(self.ethertype).to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let repr = EthernetRepr {
+            dst: MacAddr::from_host_id(2),
+            src: MacAddr::from_host_id(1),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        buf.extend_from_slice(b"payload");
+        let (parsed, payload) = EthernetRepr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(
+            EthernetRepr::parse(&[0u8; 13]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn unknown_ethertype_preserved() {
+        let repr = EthernetRepr {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::from_host_id(7),
+            ethertype: EtherType::Other(0x88cc),
+        };
+        let mut buf = Vec::new();
+        repr.emit(&mut buf);
+        let (parsed, _) = EthernetRepr::parse(&buf).unwrap();
+        assert_eq!(parsed.ethertype, EtherType::Other(0x88cc));
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::from_host_id(0x2a).to_string(), "02:00:00:00:00:2a");
+    }
+}

@@ -1,0 +1,138 @@
+//! The small ICMP subset the paper needs (RFC 792).
+//!
+//! The only message type that matters for tcpanaly is **source quench**
+//! (type 4): it instructs a TCP to slow down, but because it is an ICMP
+//! packet it never appears in a TCP-only packet-filter trace — tcpanaly
+//! must *infer* its arrival from the sender's subsequent behavior (§6.2).
+//! Echo request/reply are included so the simulator can model background
+//! probing traffic.
+
+use crate::checksum;
+use crate::{Result, WireError};
+
+/// A decoded ICMP message (header + the quoted bytes, if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpRepr {
+    /// Echo request (type 8).
+    EchoRequest {
+        /// Identifier for matching replies.
+        ident: u16,
+        /// Sequence number within the identifier.
+        seq: u16,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier copied from the request.
+        ident: u16,
+        /// Sequence number copied from the request.
+        seq: u16,
+    },
+    /// Source quench (type 4, code 0). Carries the IP header + first 8
+    /// payload bytes of the datagram that triggered it.
+    SourceQuench {
+        /// The quoted bytes of the offending datagram.
+        quoted: Vec<u8>,
+    },
+    /// Any other type/code, preserved verbatim as (type, code, rest).
+    Other(u8, u8, Vec<u8>),
+}
+
+impl IcmpRepr {
+    /// Parses an ICMP message, verifying its checksum.
+    pub fn parse(packet: &[u8]) -> Result<IcmpRepr> {
+        if packet.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        if !checksum::verify(packet) {
+            return Err(WireError::BadChecksum);
+        }
+        let (ty, code) = (packet[0], packet[1]);
+        let rest = &packet[4..];
+        Ok(match (ty, code) {
+            (8, 0) => IcmpRepr::EchoRequest {
+                ident: u16::from_be_bytes([rest[0], rest[1]]),
+                seq: u16::from_be_bytes([rest[2], rest[3]]),
+            },
+            (0, 0) => IcmpRepr::EchoReply {
+                ident: u16::from_be_bytes([rest[0], rest[1]]),
+                seq: u16::from_be_bytes([rest[2], rest[3]]),
+            },
+            (4, 0) => IcmpRepr::SourceQuench {
+                quoted: rest[4..].to_vec(),
+            },
+            _ => IcmpRepr::Other(ty, code, rest.to_vec()),
+        })
+    }
+
+    /// Appends the encoded message (checksum filled in) to `buf`.
+    pub fn emit(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        match self {
+            IcmpRepr::EchoRequest { ident, seq } => {
+                buf.extend_from_slice(&[8, 0, 0, 0]);
+                buf.extend_from_slice(&ident.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+            }
+            IcmpRepr::EchoReply { ident, seq } => {
+                buf.extend_from_slice(&[0, 0, 0, 0]);
+                buf.extend_from_slice(&ident.to_be_bytes());
+                buf.extend_from_slice(&seq.to_be_bytes());
+            }
+            IcmpRepr::SourceQuench { quoted } => {
+                buf.extend_from_slice(&[4, 0, 0, 0, 0, 0, 0, 0]);
+                buf.extend_from_slice(quoted);
+            }
+            IcmpRepr::Other(ty, code, rest) => {
+                buf.extend_from_slice(&[*ty, *code, 0, 0]);
+                buf.extend_from_slice(rest);
+            }
+        }
+        let ck = checksum::checksum(&buf[start..]);
+        buf[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let msg = IcmpRepr::EchoRequest { ident: 77, seq: 3 };
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        assert_eq!(IcmpRepr::parse(&buf).unwrap(), msg);
+    }
+
+    #[test]
+    fn source_quench_round_trip() {
+        let msg = IcmpRepr::SourceQuench {
+            quoted: vec![0x45, 0, 0, 40, 1, 2, 3, 4],
+        };
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        assert_eq!(IcmpRepr::parse(&buf).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrupted_message_rejected() {
+        let msg = IcmpRepr::EchoReply { ident: 1, seq: 2 };
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        buf[5] ^= 1;
+        assert_eq!(IcmpRepr::parse(&buf).unwrap_err(), WireError::BadChecksum);
+    }
+
+    #[test]
+    fn short_message_rejected() {
+        assert_eq!(IcmpRepr::parse(&[4, 0, 0]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn unknown_type_preserved() {
+        let msg = IcmpRepr::Other(3, 1, vec![0, 0, 0, 0, 9, 9]);
+        let mut buf = Vec::new();
+        msg.emit(&mut buf);
+        assert_eq!(IcmpRepr::parse(&buf).unwrap(), msg);
+    }
+}

@@ -1,0 +1,166 @@
+//! Wrap-safe 32-bit TCP sequence-number arithmetic.
+//!
+//! TCP sequence numbers live on a 2³² circle; comparisons are only
+//! meaningful between numbers less than 2³¹ apart (RFC 793 §3.3). This
+//! module provides a [`SeqNum`] newtype whose ordering and distance
+//! operations respect the wrap, so analysis code never writes a raw
+//! `a < b` on sequence numbers.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number (or acknowledgment number) on the 2³² circle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// The zero sequence number.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Wrapping signed distance `self - other`, in the range
+    /// `[-2³¹, 2³¹)`. Positive means `self` is ahead of `other`.
+    pub fn dist(self, other: SeqNum) -> i64 {
+        i64::from(self.0.wrapping_sub(other.0) as i32)
+    }
+
+    /// `true` if `self` is strictly after `other` on the circle.
+    pub fn after(self, other: SeqNum) -> bool {
+        self.dist(other) > 0
+    }
+
+    /// `true` if `self` is strictly before `other` on the circle.
+    pub fn before(self, other: SeqNum) -> bool {
+        self.dist(other) < 0
+    }
+
+    /// `true` if `self` is at or after `other`.
+    pub fn at_or_after(self, other: SeqNum) -> bool {
+        self.dist(other) >= 0
+    }
+
+    /// `true` if `self` is at or before `other`.
+    pub fn at_or_before(self, other: SeqNum) -> bool {
+        self.dist(other) <= 0
+    }
+
+    /// `true` if `self` lies in the half-open window `[lo, lo+len)`.
+    pub fn in_window(self, lo: SeqNum, len: u32) -> bool {
+        let d = self.dist(lo);
+        d >= 0 && d < i64::from(len)
+    }
+
+    /// The larger of two sequence numbers under wrap ordering.
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.after(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two sequence numbers under wrap ordering.
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.before(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialOrd for SeqNum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.dist(*other).cmp(&0))
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<u32> for SeqNum {
+    type Output = SeqNum;
+    fn sub(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_sub(rhs))
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = i64;
+    fn sub(self, rhs: SeqNum) -> i64 {
+        self.dist(rhs)
+    }
+}
+
+impl From<u32> for SeqNum {
+    fn from(v: u32) -> Self {
+        SeqNum(v)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_without_wrap() {
+        let a = SeqNum(100);
+        let b = SeqNum(200);
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert!(a.at_or_before(a));
+        assert!(a.at_or_after(a));
+        assert_eq!(b - a, 100);
+        assert_eq!(a - b, -100);
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let a = SeqNum(u32::MAX - 10);
+        let b = a + 20; // wraps past zero
+        assert_eq!(b.0, 9);
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert_eq!(b - a, 20);
+    }
+
+    #[test]
+    fn window_membership_across_wrap() {
+        let lo = SeqNum(u32::MAX - 5);
+        assert!(lo.in_window(lo, 1));
+        assert!((lo + 9).in_window(lo, 10));
+        assert!(!(lo + 10).in_window(lo, 10));
+        assert!(!(lo - 1).in_window(lo, 10));
+    }
+
+    #[test]
+    fn min_max_respect_wrap() {
+        let a = SeqNum(u32::MAX - 1);
+        let b = SeqNum(3);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = SeqNum(0x8000_0000);
+        assert_eq!(a + 5 - 5, a);
+        assert_eq!((a - 5) + 5, a);
+    }
+}

@@ -1,0 +1,73 @@
+//! The §8 zoo: run the paper's three devastating TCP pathologies side by
+//! side — the Net/3 uninitialized-cwnd burst, the Linux 1.0 retransmission
+//! storm, and the Solaris premature-RTO flood — each next to a well-behaved
+//! control, with ASCII sequence plots.
+//!
+//! ```sh
+//! cargo run --example broken_tcp_zoo
+//! ```
+
+use tcpa_netsim::LossModel;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec, TransferOutcome};
+use tcpa_tcpsim::profiles;
+use tcpa_tcpsim::TcpConfig;
+use tcpa_trace::plot::SeqPlot;
+use tcpa_trace::{Connection, Duration};
+
+fn show(title: &str, out: &TransferOutcome) {
+    let conn = Connection::split(&out.sender_trace()).remove(0);
+    let plot = SeqPlot::extract(&conn);
+    println!("--- {title} ---");
+    println!("{}", plot.render_ascii(70, 14));
+    println!(
+        "packets {}  retransmissions {}  network drops {}  finished {}\n",
+        out.sender_stats.data_packets_sent,
+        out.sender_stats.retransmissions,
+        out.truth.total_drops(),
+        out.finished_at,
+    );
+}
+
+fn main() {
+    // §8.4 — Net/3 uninitialized cwnd: receiver omits the MSS option.
+    let mut no_mss_receiver: TcpConfig = profiles::reno();
+    no_mss_receiver.send_mss_option = false;
+    let mut path = PathSpec::default();
+    path.one_way_delay = Duration::from_millis(100);
+    path.queue_cap = 16;
+    show(
+        "Net/3: 30-packet blast into a cold window (Figure 3)",
+        &run_transfer(profiles::net3(), no_mss_receiver.clone(), &path, 100 * 1024, 1),
+    );
+    show(
+        "control: generic Reno against the same receiver",
+        &run_transfer(profiles::reno(), no_mss_receiver, &path, 100 * 1024, 1),
+    );
+
+    // §8.5 — Linux 1.0 burst retransmission on a lossy path.
+    let mut path = PathSpec::default();
+    path.rate_bps = 256_000;
+    path.queue_cap = 8;
+    path.one_way_delay = Duration::from_millis(60);
+    path.loss_data = LossModel::Periodic(20);
+    show(
+        "Linux 1.0: retransmission storm (Figure 4)",
+        &run_transfer(profiles::linux_1_0(), profiles::linux_1_0(), &path, 100 * 1024, 2),
+    );
+    show(
+        "control: Linux 2.0 on the same lossy path",
+        &run_transfer(profiles::linux_2_0(), profiles::linux_2_0(), &path, 100 * 1024, 2),
+    );
+
+    // §8.6 — Solaris premature RTO on a long path.
+    let mut path = PathSpec::default();
+    path.one_way_delay = Duration::from_millis(335);
+    show(
+        "Solaris 2.4: needless retransmissions at 680 ms RTT (Figure 5)",
+        &run_transfer(profiles::solaris_2_4(), profiles::reno(), &path, 100 * 1024, 3),
+    );
+    show(
+        "control: Reno on the same long path",
+        &run_transfer(profiles::reno(), profiles::reno(), &path, 100 * 1024, 3),
+    );
+}

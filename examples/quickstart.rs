@@ -1,0 +1,51 @@
+//! Quickstart: simulate a bulk transfer, round-trip the trace through a
+//! pcap file, and run the full tcpanaly pipeline on it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles;
+use tcpa_trace::pcap_io;
+use tcpa_wire::TsResolution;
+use tcpanaly::Analyzer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate: a 100 KB transfer from a Reno sender to a Reno
+    //    receiver across a T1-grade path, tapped at the sender's LAN.
+    let out = run_transfer(
+        profiles::reno(),
+        profiles::reno(),
+        &PathSpec::default(),
+        100 * 1024,
+        1,
+    );
+    println!(
+        "simulated transfer: {} data packets, {} retransmissions, done at {}",
+        out.sender_stats.data_packets_sent, out.sender_stats.retransmissions, out.finished_at
+    );
+
+    // 2. Round-trip through the on-disk format tcpdump uses.
+    let path = std::env::temp_dir().join("tcpanaly_quickstart.pcap");
+    let trace = out.sender_trace();
+    pcap_io::write_pcap(&trace, std::fs::File::create(&path)?, TsResolution::Micro, 0)?;
+    let (reread, skipped) = pcap_io::read_pcap(std::fs::File::open(&path)?)?;
+    println!(
+        "wrote and re-read {} ({} records, {} skipped)",
+        path.display(),
+        reread.len(),
+        skipped
+    );
+
+    // 3. Analyze: calibrate the trace, fingerprint the sender against
+    //    every implementation tcpanaly knows, and summarize the receiver.
+    let report = Analyzer::at_sender().analyze(&reread);
+    println!("\n{}", report.render());
+
+    let best = report.connections[0]
+        .best_fit()
+        .unwrap_or("(no close fit)");
+    println!("=> best-fitting implementation: {best}");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the tcpanaly reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! cross-crate integration tests read naturally. Library users should
+//! depend on the individual crates (`tcpanaly`, `tcpa-tcpsim`, …)
+//! directly.
+
+pub use tcpa_filter as filter;
+pub use tcpa_netsim as netsim;
+pub use tcpa_tcpsim as tcpsim;
+pub use tcpa_trace as trace;
+pub use tcpa_wire as wire;
+pub use tcpanaly as analy;
