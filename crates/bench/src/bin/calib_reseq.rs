@@ -1,4 +1,7 @@
 //! Regenerates one artifact of the paper; see DESIGN.md §5.
 fn main() {
-    print!("{}", tcpa_bench::scenarios::calibration::resequencing().render());
+    print!(
+        "{}",
+        tcpa_bench::scenarios::calibration::resequencing().render()
+    );
 }

@@ -50,12 +50,16 @@ fn main() {
             "--bytes" => bytes = next(&mut args, "--bytes").parse().expect("--bytes"),
             "--rate" => path.rate_bps = next(&mut args, "--rate").parse().expect("--rate"),
             "--delay-ms" => {
-                path.one_way_delay =
-                    Duration::from_millis(next(&mut args, "--delay-ms").parse().expect("--delay-ms"))
+                path.one_way_delay = Duration::from_millis(
+                    next(&mut args, "--delay-ms").parse().expect("--delay-ms"),
+                )
             }
             "--loss-every" => {
-                path.loss_data =
-                    LossModel::Periodic(next(&mut args, "--loss-every").parse().expect("--loss-every"))
+                path.loss_data = LossModel::Periodic(
+                    next(&mut args, "--loss-every")
+                        .parse()
+                        .expect("--loss-every"),
+                )
             }
             "--seed" => seed = next(&mut args, "--seed").parse().expect("--seed"),
             "--vantage" => vantage = next(&mut args, "--vantage"),

@@ -1,4 +1,7 @@
 //! Regenerates one artifact of the paper; see DESIGN.md §5.
 fn main() {
-    print!("{}", tcpa_bench::scenarios::policy::response_delay().render());
+    print!(
+        "{}",
+        tcpa_bench::scenarios::policy::response_delay().render()
+    );
 }

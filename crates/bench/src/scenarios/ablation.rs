@@ -28,7 +28,11 @@ struct Ablation {
     without_issues: usize,
 }
 
-fn class_of(conn: &Connection, cfg: &tcpa_tcpsim::TcpConfig, opts: &ReplayOptions) -> (FitClass, usize) {
+fn class_of(
+    conn: &Connection,
+    cfg: &tcpa_tcpsim::TcpConfig,
+    opts: &ReplayOptions,
+) -> (FitClass, usize) {
     let a = analyze_sender_with(conn, cfg, opts).expect("analyzable");
     (classify(&a), a.hard_issues())
 }
@@ -43,7 +47,13 @@ fn run_ablations() -> Vec<Ablation> {
         path.rate_bps = 6_000_000;
         path.one_way_delay = Duration::from_millis(40);
         path.proc_delay = Duration::from_millis(6);
-        let out = run_transfer(profiles::solaris_2_4(), profiles::linux_2_0(), &path, 100 * 1024, 201);
+        let out = run_transfer(
+            profiles::solaris_2_4(),
+            profiles::linux_2_0(),
+            &path,
+            100 * 1024,
+            201,
+        );
         let conn = conn_of(&out.sender_trace());
         let cfg = profiles::solaris_2_4();
         let off = ReplayOptions {
@@ -88,7 +98,13 @@ fn run_ablations() -> Vec<Ablation> {
 
     // --- duplicate removal (§3.1.2 / Figure 1) ------------------------
     {
-        let out = run_transfer(profiles::irix(), profiles::reno(), &PathSpec::default(), 100 * 1024, 203);
+        let out = run_transfer(
+            profiles::irix(),
+            profiles::reno(),
+            &PathSpec::default(),
+            100 * 1024,
+            203,
+        );
         let (measured, _) = apply(&out.sender_tap, &FilterConfig::irix_duplicating(), 203);
         let (clean, _) = Calibrator::at_sender().calibrate(&measured);
         let cfg = profiles::irix();
@@ -113,7 +129,14 @@ fn run_ablations() -> Vec<Ablation> {
             horizon: None,
             sender_pause: None,
         };
-        let out = run_transfer_with(profiles::reno(), profiles::reno(), &path, 100 * 1024, 204, &extras);
+        let out = run_transfer_with(
+            profiles::reno(),
+            profiles::reno(),
+            &path,
+            100 * 1024,
+            204,
+            &extras,
+        );
         let conn = conn_of(&out.sender_trace());
         let cfg = profiles::reno();
         let off = ReplayOptions {
@@ -206,6 +229,11 @@ mod tests {
     #[test]
     fn ablations_confirm_each_mechanism() {
         let s = super::run();
-        assert!(s.verdict.starts_with("CONFIRMED"), "{}\n{}", s.verdict, s.body);
+        assert!(
+            s.verdict.starts_with("CONFIRMED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
     }
 }

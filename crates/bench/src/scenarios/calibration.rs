@@ -46,7 +46,13 @@ pub fn drops() -> Section {
         for k in 0..trials {
             let mut path = PathSpec::default();
             path.loss_data = LossModel::Bernoulli(rate);
-            let out = run_transfer(profiles::reno(), profiles::reno(), &path, 100 * 1024, 350 + k);
+            let out = run_transfer(
+                profiles::reno(),
+                profiles::reno(),
+                &path,
+                100 * 1024,
+                350 + k,
+            );
             let (_, cal) = Calibrator::at_sender().calibrate(&out.sender_trace());
             if !cal.drop_evidence.is_empty() {
                 false_alarms += 1;
@@ -91,8 +97,18 @@ pub fn resequencing() -> Section {
         let mut path = PathSpec::default();
         path.one_way_delay = Duration::from_millis(5);
         path.proc_delay = Duration::from_micros(50);
-        let out = run_transfer(profiles::reno(), profiles::reno(), &path, 100 * 1024, 400 + k);
-        let (measured, _) = apply(&out.sender_tap, &FilterConfig::solaris_resequencing(), 400 + k);
+        let out = run_transfer(
+            profiles::reno(),
+            profiles::reno(),
+            &path,
+            100 * 1024,
+            400 + k,
+        );
+        let (measured, _) = apply(
+            &out.sender_tap,
+            &FilterConfig::solaris_resequencing(),
+            400 + k,
+        );
         let (clean, cal) = Calibrator::at_sender().calibrate(&measured);
         let conn = Connection::split(&clean).remove(0);
         let reseq_model = analyze_sender(&conn, &profiles::reno())
@@ -138,7 +154,13 @@ pub fn time_travel() -> Section {
     for k in 0..trials {
         let mut path = PathSpec::default();
         path.rate_bps = 256_000;
-        let out = run_transfer(profiles::reno(), profiles::reno(), &path, 100 * 1024, 500 + k);
+        let out = run_transfer(
+            profiles::reno(),
+            profiles::reno(),
+            &path,
+            100 * 1024,
+            500 + k,
+        );
         let cfg = FilterConfig {
             clock: ClockModel::fast_with_periodic_sync(
                 300.0,
@@ -168,7 +190,10 @@ pub fn time_travel() -> Section {
         ),
         body: String::new(),
         measured: vec![
-            ("traces with time travel".into(), format!("{flagged}/{trials}")),
+            (
+                "traces with time travel".into(),
+                format!("{flagged}/{trials}"),
+            ),
             ("total instances".into(), instances.to_string()),
         ],
         verdict: if flagged == trials as usize && instances >= trials as usize {
@@ -228,7 +253,10 @@ pub fn quench() -> Section {
         ),
         body: String::new(),
         measured: vec![
-            ("quenches inferred (of injected)".into(), format!("{true_pos}/{with_quench}")),
+            (
+                "quenches inferred (of injected)".into(),
+                format!("{true_pos}/{with_quench}"),
+            ),
             (
                 "false inferences on clean transfers".into(),
                 format!("{false_pos}/{}", trials - with_quench),
@@ -247,7 +275,12 @@ mod tests {
     #[test]
     fn drops_reproduces() {
         let s = super::drops();
-        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+        assert!(
+            s.verdict.starts_with("REPRODUCED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
     }
 
     #[test]

@@ -50,7 +50,14 @@ fn probe(cfg: tcpa_tcpsim::TcpConfig) -> Row {
         horizon: Some(Time::from_secs(90)),
         sender_pause: None,
     };
-    let out = run_transfer_with(cfg.clone(), receiver, &PathSpec::default(), 32 * 1024, 901, &extras);
+    let out = run_transfer_with(
+        cfg.clone(),
+        receiver,
+        &PathSpec::default(),
+        32 * 1024,
+        901,
+        &extras,
+    );
     let zero_window = if out.sender_stats.zero_window_probes > 0 {
         format!("probes ({}x)", out.sender_stats.zero_window_probes)
     } else {
@@ -66,7 +73,14 @@ fn probe(cfg: tcpa_tcpsim::TcpConfig) -> Row {
         horizon: None,
         sender_pause: Some((8 * 1024, Duration::from_secs(30))),
     };
-    let out = run_transfer_with(ka, profiles::reno(), &PathSpec::default(), 24 * 1024, 902, &extras);
+    let out = run_transfer_with(
+        ka,
+        profiles::reno(),
+        &PathSpec::default(),
+        24 * 1024,
+        902,
+        &extras,
+    );
     let keepalive = if out.sender_stats.keepalives_sent > 0 {
         format!("probes ({}x)", out.sender_stats.keepalives_sent)
     } else {
@@ -131,7 +145,10 @@ pub fn run() -> Section {
             .into(),
         body: table.render(),
         measured: vec![
-            ("all implementations probe shut windows & idle peers".into(), all_probed.to_string()),
+            (
+                "all implementations probe shut windows & idle peers".into(),
+                all_probed.to_string(),
+            ),
             ("exponential SYN backoff".into(), format!("{exponential}/5")),
         ],
         verdict: if all_probed && exponential == 4 {
@@ -147,6 +164,11 @@ mod tests {
     #[test]
     fn conformance_matrix_reproduces() {
         let s = super::run();
-        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+        assert!(
+            s.verdict.starts_with("REPRODUCED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
     }
 }

@@ -54,8 +54,8 @@ pub fn fig1() -> Section {
         let mut best: Option<(usize, usize)> = None;
         let mut start = 0;
         for i in 1..=points.len() {
-            let broke = i == points.len()
-                || points[i].0 - points[i - 1].0 > Duration::from_millis(2);
+            let broke =
+                i == points.len() || points[i].0 - points[i - 1].0 > Duration::from_millis(2);
             if broke {
                 if best.is_none_or(|(s, e)| i - start > e - s) {
                     best = Some((start, i));
@@ -90,8 +90,14 @@ pub fn fig1() -> Section {
             .into(),
         body: String::new(),
         measured: vec![
-            ("duplicate records added".into(), report.duplicates_added.to_string()),
-            ("duplicates detected & removed".into(), cal.duplicates.len().to_string()),
+            (
+                "duplicate records added".into(),
+                report.duplicates_added.to_string(),
+            ),
+            (
+                "duplicates detected & removed".into(),
+                cal.duplicates.len().to_string(),
+            ),
             ("first-copy slope".into(), fmt_rate(first_rate)),
             ("second-copy slope".into(), fmt_rate(second_rate)),
         ],
@@ -129,7 +135,13 @@ pub fn fig2() -> Section {
     path.rate_bps = 6_000_000;
     path.one_way_delay = Duration::from_millis(40);
     path.proc_delay = Duration::from_millis(6);
-    let out = run_transfer(profiles::solaris_2_4(), profiles::linux_2_0(), &path, 100 * 1024, 102);
+    let out = run_transfer(
+        profiles::solaris_2_4(),
+        profiles::linux_2_0(),
+        &path,
+        100 * 1024,
+        102,
+    );
     let trace = out.sender_trace();
     let conn = conn_of(&trace);
 
@@ -189,8 +201,14 @@ pub fn fig2() -> Section {
             .into(),
         body: excerpt,
         measured: vec![
-            ("apparently-needless retransmissions".into(), instances.to_string()),
-            ("hard issues under correct profile".into(), fit.analysis.hard_issues().to_string()),
+            (
+                "apparently-needless retransmissions".into(),
+                instances.to_string(),
+            ),
+            (
+                "hard issues under correct profile".into(),
+                fit.analysis.hard_issues().to_string(),
+            ),
             ("fit of correct profile".into(), fit.fit.to_string()),
         ],
         verdict: if instances > 0 && fit.analysis.hard_issues() == 0 {
@@ -251,7 +269,10 @@ pub fn fig3() -> Section {
         body: plot.render_ascii(72, 18),
         measured: vec![
             ("first-burst packets (150 ms)".into(), burst.to_string()),
-            ("packets lost near the burst".into(), lost_of_burst.to_string()),
+            (
+                "packets lost near the burst".into(),
+                lost_of_burst.to_string(),
+            ),
             (
                 "retransmissions".into(),
                 out.sender_stats.retransmissions.to_string(),
@@ -288,8 +309,8 @@ pub fn fig4() -> Section {
 
     let pkts = out.sender_stats.data_packets_sent;
     let retx = out.sender_stats.retransmissions;
-    let drop_pct = 100.0 * out.truth.total_drops() as f64
-        / (pkts + out.receiver_stats.acks_sent) as f64;
+    let drop_pct =
+        100.0 * out.truth.total_drops() as f64 / (pkts + out.receiver_stats.acks_sent) as f64;
 
     // Control: Linux 2.0 on the identical path.
     let fixed = run_transfer(
@@ -334,12 +355,14 @@ pub fn fig4() -> Section {
             ),
         ],
         verdict: if retx as f64 > 0.2 * pkts as f64
-            && (fixed.sender_stats.retransmissions as f64)
-                < 0.5 * retx as f64
+            && (fixed.sender_stats.retransmissions as f64) < 0.5 * retx as f64
         {
             "REPRODUCED: a retransmission storm (>20% of packets) that the fixed Linux 2.0 does not exhibit.".into()
         } else {
-            format!("PARTIAL: {retx}/{pkts} vs control {}", fixed.sender_stats.retransmissions)
+            format!(
+                "PARTIAL: {retx}/{pkts} vs control {}",
+                fixed.sender_stats.retransmissions
+            )
         },
     }
 }
@@ -348,7 +371,13 @@ pub fn fig4() -> Section {
 pub fn fig5() -> Section {
     let mut path = PathSpec::default();
     path.one_way_delay = Duration::from_millis(335); // RTT ≈ 680 ms
-    let out = run_transfer(profiles::solaris_2_4(), profiles::reno(), &path, 100 * 1024, 105);
+    let out = run_transfer(
+        profiles::solaris_2_4(),
+        profiles::reno(),
+        &path,
+        100 * 1024,
+        105,
+    );
     let trace = out.sender_trace();
     let conn = conn_of(&trace);
     let plot = SeqPlot::extract(&conn);
@@ -373,7 +402,10 @@ pub fn fig5() -> Section {
             ("new data packets".into(), fresh.to_string()),
             (
                 "needless retransmissions".into(),
-                format!("{retx} (network dropped {} packets)", out.truth.total_drops()),
+                format!(
+                    "{retx} (network dropped {} packets)",
+                    out.truth.total_drops()
+                ),
             ),
             (
                 "Reno control retransmissions".into(),
@@ -400,26 +432,46 @@ mod tests {
 
     #[test]
     fn fig1_reproduces() {
-        assert!(fig1().verdict.starts_with("REPRODUCED"), "{}", fig1().verdict);
+        assert!(
+            fig1().verdict.starts_with("REPRODUCED"),
+            "{}",
+            fig1().verdict
+        );
     }
 
     #[test]
     fn fig2_reproduces() {
-        assert!(fig2().verdict.starts_with("REPRODUCED"), "{}", fig2().verdict);
+        assert!(
+            fig2().verdict.starts_with("REPRODUCED"),
+            "{}",
+            fig2().verdict
+        );
     }
 
     #[test]
     fn fig3_reproduces() {
-        assert!(fig3().verdict.starts_with("REPRODUCED"), "{}", fig3().verdict);
+        assert!(
+            fig3().verdict.starts_with("REPRODUCED"),
+            "{}",
+            fig3().verdict
+        );
     }
 
     #[test]
     fn fig4_reproduces() {
-        assert!(fig4().verdict.starts_with("REPRODUCED"), "{}", fig4().verdict);
+        assert!(
+            fig4().verdict.starts_with("REPRODUCED"),
+            "{}",
+            fig4().verdict
+        );
     }
 
     #[test]
     fn fig5_reproduces() {
-        assert!(fig5().verdict.starts_with("REPRODUCED"), "{}", fig5().verdict);
+        assert!(
+            fig5().verdict.starts_with("REPRODUCED"),
+            "{}",
+            fig5().verdict
+        );
     }
 }

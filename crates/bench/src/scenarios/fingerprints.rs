@@ -46,7 +46,13 @@ pub fn confusion_matrix() -> Section {
     let mut off_diag_total = 0usize;
 
     for gen in &candidates {
-        let out = run_transfer(gen.clone(), profiles::reno(), &stress_path(), 100 * 1024, 700);
+        let out = run_transfer(
+            gen.clone(),
+            profiles::reno(),
+            &stress_path(),
+            100 * 1024,
+            700,
+        );
         let conn = Connection::split(&out.sender_trace()).remove(0);
         let mut row = vec![gen.name.to_string()];
         for (j, cand) in candidates.iter().enumerate() {
@@ -86,13 +92,17 @@ pub fn confusion_matrix() -> Section {
             .into(),
         body: table.render(),
         measured: vec![
-            ("diagonal close fits".into(), format!("{diagonal_close}/{n}")),
+            (
+                "diagonal close fits".into(),
+                format!("{diagonal_close}/{n}"),
+            ),
             (
                 "off-diagonal clearly-incorrect".into(),
                 format!("{off_diag_incorrect}/{off_diag_total}"),
             ),
         ],
-        verdict: if diagonal_close == n && off_diag_incorrect as f64 >= 0.7 * off_diag_total as f64 {
+        verdict: if diagonal_close == n && off_diag_incorrect as f64 >= 0.7 * off_diag_total as f64
+        {
             "REPRODUCED: every generator close-fits its own trace; behaviorally-distant candidates overwhelmingly rejected.".into()
         } else {
             format!(
@@ -108,6 +118,11 @@ mod tests {
     #[test]
     fn matrix_reproduces() {
         let s = super::confusion_matrix();
-        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+        assert!(
+            s.verdict.starts_with("REPRODUCED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
     }
 }

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod calibration;
 pub mod conformance;
+pub mod corpus;
 pub mod figures;
 pub mod fingerprints;
 pub mod policy;
@@ -30,5 +31,6 @@ pub fn all() -> Vec<Section> {
         variants::run(),
         conformance::run(),
         ablation::run(),
+        corpus::run(),
     ]
 }

@@ -40,7 +40,11 @@ pub fn ack_policy() -> Section {
         for &rate in &[64_000u64, 1_544_000] {
             let mut path = PathSpec::default();
             path.rate_bps = rate;
-            let bytes = if rate < 200_000 { 48 * 1024 } else { 100 * 1024 };
+            let bytes = if rate < 200_000 {
+                48 * 1024
+            } else {
+                100 * 1024
+            };
             let out = run_transfer(profiles::reno(), cfg.clone(), &path, bytes, 900);
             let conn = Connection::split(&out.receiver_trace()).remove(0);
             let a = analyze_receiver(&conn).expect("analyzable");
@@ -60,7 +64,11 @@ pub fn ack_policy() -> Section {
             let cv = hist.cv();
             table.row(vec![
                 label.into(),
-                if rate < 200_000 { "64 kb/s".into() } else { "T1".into() },
+                if rate < 200_000 {
+                    "64 kb/s".into()
+                } else {
+                    "T1".into()
+                },
                 delayed.to_string(),
                 normal.to_string(),
                 stretch.to_string(),
@@ -101,8 +109,7 @@ pub fn ack_policy() -> Section {
                       56/64 kb/s links — where BSD's 200 ms timer still produces \
                       normal acks."
             .into(),
-        params: "Reno sender; BSD / Linux 1.0 / Solaris receivers at 64 kb/s and T1"
-            .into(),
+        params: "Reno sender; BSD / Linux 1.0 / Solaris receivers at 64 kb/s and T1".into(),
         body: table.render(),
         measured: vec![
             ("BSD policy identified".into(), bsd_ok.to_string()),
@@ -117,7 +124,11 @@ pub fn ack_policy() -> Section {
                 bsd_normal_at_64k.to_string(),
             ),
         ],
-        verdict: if bsd_ok && linux_ok && solaris_ok && solaris_all_delayed_at_64k && bsd_normal_at_64k
+        verdict: if bsd_ok
+            && linux_ok
+            && solaris_ok
+            && solaris_all_delayed_at_64k
+            && bsd_normal_at_64k
         {
             "REPRODUCED: all three policies identified; the Solaris 50 ms sub-optimality band includes 64 kb/s exactly as derived in §9.1.".into()
         } else {
@@ -147,16 +158,18 @@ pub fn response_delay() -> Section {
         let mut d = a.ack_delays.clone();
         let min = d.min().map(|x| x.to_string()).unwrap_or_default();
         let median = d.median().map(|x| x.to_string()).unwrap_or_default();
-        let p90 = d.percentile(90.0).map(|x| x.to_string()).unwrap_or_default();
+        let p90 = d
+            .percentile(90.0)
+            .map(|x| x.to_string())
+            .unwrap_or_default();
         let max = d.max().map(|x| x.to_string()).unwrap_or_default();
         match label {
             "Linux 1.0" => {
-                linux_small = d.percentile(90.0).unwrap_or(Duration::from_secs(1))
-                    < Duration::from_millis(5)
+                linux_small =
+                    d.percentile(90.0).unwrap_or(Duration::from_secs(1)) < Duration::from_millis(5)
             }
             "BSD (200ms hb)" => {
-                bsd_large =
-                    d.max().unwrap_or(Duration::ZERO) > Duration::from_millis(100)
+                bsd_large = d.max().unwrap_or(Duration::ZERO) > Duration::from_millis(100)
             }
             _ => {}
         }
@@ -191,12 +204,22 @@ mod tests {
     #[test]
     fn ack_policy_reproduces() {
         let s = super::ack_policy();
-        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+        assert!(
+            s.verdict.starts_with("REPRODUCED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
     }
 
     #[test]
     fn response_delay_reproduces() {
         let s = super::response_delay();
-        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+        assert!(
+            s.verdict.starts_with("REPRODUCED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
     }
 }

@@ -26,7 +26,8 @@ fn random_path(rng: &mut SplitMix64) -> PathSpec {
     let delays = [5i64, 15, 30, 60, 120];
     let mut path = PathSpec::default();
     path.rate_bps = rates[rng.next_below(rates.len() as u64) as usize];
-    path.one_way_delay = Duration::from_millis(delays[rng.next_below(delays.len() as u64) as usize]);
+    path.one_way_delay =
+        Duration::from_millis(delays[rng.next_below(delays.len() as u64) as usize]);
     path.queue_cap = 8 + rng.next_below(24) as usize;
     if rng.chance(0.3) {
         path.loss_data = LossModel::Bernoulli(0.005 + rng.next_f64() * 0.02);
@@ -144,6 +145,11 @@ mod tests {
     #[test]
     fn table1_reproduces() {
         let s = super::run();
-        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+        assert!(
+            s.verdict.starts_with("REPRODUCED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
     }
 }

@@ -183,8 +183,16 @@ pub fn run() -> Section {
             v.name.into(),
             format!("{} ({} issues)", self_class, self_fit.issues.len()),
             format!("{} ({} issues)", cross_class, cross_fit.issues.len()),
-            if distinguished { "yes".into() } else { "no".into() },
-            if v.expect_distinguish { "yes".into() } else { "(rarely manifests)".into() },
+            if distinguished {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            if v.expect_distinguish {
+                "yes".into()
+            } else {
+                "(rarely manifests)".into()
+            },
         ]);
     }
     Section {
@@ -213,6 +221,11 @@ mod tests {
     #[test]
     fn variants_reproduce() {
         let s = super::run();
-        assert!(s.verdict.starts_with("REPRODUCED"), "{}\n{}", s.verdict, s.body);
+        assert!(
+            s.verdict.starts_with("REPRODUCED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
     }
 }

@@ -2,18 +2,27 @@
 //!
 //! ```text
 //! tcpanaly [--sender|--receiver] [--impl NAME] [--handshake]
-//!          [--receiver-fingerprint] [--list-impls] TRACE.pcap...
+//!          [--receiver-fingerprint] [--list-impls] [--jobs N]
+//!          TRACE.pcap... | DIR...
 //! ```
 //!
 //! Reads tcpdump-format captures, calibrates them (§3), and reports the
 //! per-connection implementation fingerprint (§5/§6) and receiver audit
 //! (§7/§9). With `--impl NAME` it checks a single candidate and prints
 //! the full disagreement detail instead of the ranking.
+//!
+//! With `--jobs N` it switches to batch mode: every argument is a pcap
+//! file or a directory of them, the corpus is analyzed on `N` worker
+//! threads (`0` = one per CPU), and a single merged census is printed.
+//! Batch output is byte-identical for any `N`.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tcpa_tcpsim::profiles::{all_profiles, profile_by_name};
 use tcpa_trace::pcap_io;
 use tcpa_trace::Connection;
+use tcpa_trace::MemorySource;
+use tcpanaly::corpus::{analyze_corpus, CorpusConfig, ItemOutcome};
 use tcpanaly::fingerprint::{fingerprint_one, fingerprint_receiver};
 use tcpanaly::handshake::analyze_handshake;
 use tcpanaly::Analyzer;
@@ -23,6 +32,7 @@ struct Options {
     implementation: Option<String>,
     handshake: bool,
     receiver_fp: bool,
+    jobs: Option<usize>,
     files: Vec<String>,
 }
 
@@ -42,6 +52,9 @@ options:
   --handshake             also report the SYN-retry schedule
   --receiver-fingerprint  also rank receiver-side (acking policy) candidates
   --list-impls            list known implementations and exit
+  --jobs N                batch mode: analyze a corpus of pcaps (or directories
+                          of pcaps) on N worker threads (0 = one per CPU) and
+                          print one merged census
 ";
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
         implementation: None,
         handshake: false,
         receiver_fp: false,
+        jobs: None,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -60,6 +74,13 @@ fn parse_args() -> Result<Options, String> {
             "--impl" => {
                 let name = args.next().ok_or("--impl requires a name")?;
                 opts.implementation = Some(name);
+            }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs requires a count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--jobs: invalid count {n:?}"))?;
+                opts.jobs = Some(n);
             }
             "--handshake" => opts.handshake = true,
             "--receiver-fingerprint" => opts.receiver_fp = true,
@@ -82,14 +103,84 @@ fn parse_args() -> Result<Options, String> {
     if opts.files.is_empty() {
         return Err("no trace files given".into());
     }
+    if opts.jobs.is_some() && (opts.implementation.is_some() || opts.handshake || opts.receiver_fp)
+    {
+        return Err(
+            "--jobs batch mode is incompatible with --impl/--handshake/--receiver-fingerprint"
+                .into(),
+        );
+    }
     Ok(opts)
+}
+
+/// Expands batch-mode arguments: files pass through, directories expand to
+/// their `*.pcap` entries sorted by name.
+fn expand_corpus_args(args: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut paths = Vec::new();
+    for arg in args {
+        let p = Path::new(arg);
+        if p.is_dir() {
+            let mut in_dir: Vec<PathBuf> = std::fs::read_dir(p)
+                .map_err(|e| format!("{arg}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.is_file() && p.extension().map(|e| e == "pcap").unwrap_or(false))
+                .collect();
+            in_dir.sort();
+            if in_dir.is_empty() {
+                return Err(format!("{arg}: directory contains no .pcap files"));
+            }
+            paths.extend(in_dir);
+        } else {
+            paths.push(p.to_path_buf());
+        }
+    }
+    Ok(paths)
+}
+
+/// Batch mode: analyze the whole corpus in parallel, print one census.
+/// Exit code 0 when every item analyzed, 1 when any failed.
+fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
+    let paths = match expand_corpus_args(&opts.files) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tcpanaly: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = CorpusConfig {
+        jobs,
+        vantage: match opts.vantage {
+            Vantage::Sender => tcpanaly::calibrate::Vantage::Sender,
+            Vantage::Receiver => tcpanaly::calibrate::Vantage::Receiver,
+            Vantage::Unknown => tcpanaly::calibrate::Vantage::Unknown,
+        },
+    };
+    // A panicking trace is reported in the census as a failed item; keep
+    // the default hook from interleaving backtrace noise with the report.
+    let prior_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = analyze_corpus(MemorySource::from_pcap_files(paths), &config);
+    std::panic::set_hook(prior_hook);
+    print!("{}", report.render());
+    let failed = report
+        .items
+        .iter()
+        .any(|r| !matches!(r.outcome, ItemOutcome::Analyzed(_)));
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn analyze_file(path: &str, opts: &Options) -> Result<(), String> {
     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let (trace, skipped) =
         pcap_io::read_pcap(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
-    println!("== {path}: {} records ({skipped} non-TCP skipped)", trace.len());
+    println!(
+        "== {path}: {} records ({skipped} non-TCP skipped)",
+        trace.len()
+    );
 
     let analyzer = match opts.vantage {
         Vantage::Sender => Analyzer::at_sender(),
@@ -194,6 +285,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(jobs) = opts.jobs {
+        return run_batch(&opts, jobs);
+    }
     let mut failed = false;
     for file in &opts.files {
         if let Err(e) = analyze_file(file, &opts) {

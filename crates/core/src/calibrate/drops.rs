@@ -201,7 +201,9 @@ fn check_dup_ack_without_stimulus(conn: &Connection, out: &mut Vec<DropEvidence>
             Dir::SenderToReceiver if rec.is_data() => {
                 match in_order_hi {
                     Some(h) => {
-                        if rec.seq_lo() != h || last_ack.is_some_and(|a| rec.seq_hi().at_or_before(a)) {
+                        if rec.seq_lo() != h
+                            || last_ack.is_some_and(|a| rec.seq_hi().at_or_before(a))
+                        {
                             stimulus_since_ack = true; // gap, overlap or old data
                         }
                         if rec.seq_hi().after(h) {
@@ -212,14 +214,16 @@ fn check_dup_ack_without_stimulus(conn: &Connection, out: &mut Vec<DropEvidence>
                 }
             }
             Dir::ReceiverToSender if rec.is_pure_ack() => {
-                if Some(rec.tcp.ack) == last_ack && rec.tcp.window == last_win
-                    && !stimulus_since_ack {
-                        out.push(DropEvidence {
-                            check: DropCheck::DupAckWithoutStimulus,
-                            index: i,
-                            detail: format!("dup ack {} with no recorded stimulus", rec.tcp.ack),
-                        });
-                    }
+                if Some(rec.tcp.ack) == last_ack
+                    && rec.tcp.window == last_win
+                    && !stimulus_since_ack
+                {
+                    out.push(DropEvidence {
+                        check: DropCheck::DupAckWithoutStimulus,
+                        index: i,
+                        detail: format!("dup ack {} with no recorded stimulus", rec.tcp.ack),
+                    });
+                }
                 last_ack = Some(rec.tcp.ack);
                 last_win = rec.tcp.window;
                 stimulus_since_ack = false;
@@ -312,7 +316,12 @@ fn check_ident_gap(conn: &Connection, dir: Dir, out: &mut Vec<DropEvidence>) {
             out.push(DropEvidence {
                 check: DropCheck::IdentSequenceGap,
                 index: w[1].0,
-                detail: format!("ident jumped {} -> {} ({} records missing)", w[0].1, w[1].1, step - 1),
+                detail: format!(
+                    "ident jumped {} -> {} ({} records missing)",
+                    w[0].1,
+                    w[1].1,
+                    step - 1
+                ),
             });
         }
     }
@@ -401,7 +410,7 @@ mod tests {
         // filter drop anywhere.
         let c = conn(vec![
             rec(0, 1, 2, 1, 1, 512, 1),
-            rec(5, 1, 2, 2, 513, 512, 1),   // recorded, then lost downstream
+            rec(5, 1, 2, 2, 513, 512, 1), // recorded, then lost downstream
             rec(10, 1, 2, 3, 1025, 512, 1),
             rec(50, 2, 1, 1, 1, 0, 513),
             rec(55, 2, 1, 2, 1, 0, 513), // dup (stimulated by 1025 arriving)
@@ -422,7 +431,10 @@ mod tests {
             rec(30, 2, 1, 2, 1, 0, 513), // dup ack, nothing arrived
         ]);
         let ev = detect_drops(&c, Vantage::Receiver);
-        assert!(kinds(&ev).contains(&DropCheck::DupAckWithoutStimulus), "{ev:?}");
+        assert!(
+            kinds(&ev).contains(&DropCheck::DupAckWithoutStimulus),
+            "{ev:?}"
+        );
         // The same trace seen from the sender proves nothing.
         let ev = detect_drops(&c, Vantage::Sender);
         assert!(!kinds(&ev).contains(&DropCheck::DupAckWithoutStimulus));
@@ -437,7 +449,10 @@ mod tests {
             rec(21, 2, 1, 2, 1, 0, 513),    // mandated dup ack
         ]);
         let ev = detect_drops(&c, Vantage::Receiver);
-        assert!(!kinds(&ev).contains(&DropCheck::DupAckWithoutStimulus), "{ev:?}");
+        assert!(
+            !kinds(&ev).contains(&DropCheck::DupAckWithoutStimulus),
+            "{ev:?}"
+        );
     }
 
     #[test]
@@ -484,7 +499,15 @@ mod tests {
         let mut records = vec![];
         for i in 0..12u32 {
             // Host interleaves other traffic: idents jump around.
-            records.push(rec(i as i64 * 10, 1, 2, (i * 37 % 251) as u16, 1 + 512 * i, 512, 1));
+            records.push(rec(
+                i as i64 * 10,
+                1,
+                2,
+                (i * 37 % 251) as u16,
+                1 + 512 * i,
+                512,
+                1,
+            ));
         }
         let c = conn(records);
         let ev = detect_drops(&c, Vantage::Sender);

@@ -89,7 +89,9 @@ impl Calibrator {
             report
                 .resequencing
                 .extend(reseq::detect_resequencing(&conn));
-            report.drop_evidence.extend(drops::detect_drops(&conn, self.vantage));
+            report
+                .drop_evidence
+                .extend(drops::detect_drops(&conn, self.vantage));
         }
         (clean, report)
     }

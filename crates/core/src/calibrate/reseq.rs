@@ -191,7 +191,17 @@ mod tests {
     use tcpa_trace::{Trace, TraceRecord};
     use tcpa_wire::{IpProtocol, Ipv4Addr, Ipv4Repr, TcpFlags, TcpRepr};
 
-    fn rec(ts_us: i64, src: u8, dst: u8, flags: TcpFlags, seq: u32, len: u32, ack: u32, win: u16) -> TraceRecord {
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        ts_us: i64,
+        src: u8,
+        dst: u8,
+        flags: TcpFlags,
+        seq: u32,
+        len: u32,
+        ack: u32,
+        win: u16,
+    ) -> TraceRecord {
         TraceRecord {
             ts: Time::from_micros(ts_us),
             ip: Ipv4Repr {
@@ -245,7 +255,8 @@ mod tests {
         ]);
         let ev = detect_resequencing(&c);
         assert!(
-            ev.iter().any(|e| e.kind == ReseqKind::LullThenAck && e.index == 2),
+            ev.iter()
+                .any(|e| e.kind == ReseqKind::LullThenAck && e.index == 2),
             "{ev:?}"
         );
     }
@@ -297,7 +308,8 @@ mod tests {
         ]);
         let ev = detect_resequencing(&c);
         assert!(
-            ev.iter().any(|e| e.kind == ReseqKind::AckBeforeData && e.index == 2),
+            ev.iter()
+                .any(|e| e.kind == ReseqKind::AckBeforeData && e.index == 2),
             "{ev:?}"
         );
     }

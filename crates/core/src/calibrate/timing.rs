@@ -68,7 +68,10 @@ mod tests {
     #[test]
     fn monotone_trace_is_clean() {
         let trace: Trace = [0, 10, 20, 20, 30].iter().map(|&t| rec(t)).collect();
-        assert!(detect_time_travel(&trace).is_empty(), "equal stamps are fine");
+        assert!(
+            detect_time_travel(&trace).is_empty(),
+            "equal stamps are fine"
+        );
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! Corpus-scale batch analysis (§8–§10 at production size).
+//!
+//! The paper's behavioral catalogues came from ~40,000 traces; one trace
+//! at a time on one thread does not get there. This module shards a
+//! corpus of traces — supplied by any
+//! [`TraceSource`](tcpa_trace::source::TraceSource) — across `N` worker
+//! threads (plain `std::thread` + channels, no external runtime) and
+//! merges the per-trace conclusions into a Table-1-style census.
+//!
+//! Guarantees the rest of the system builds on:
+//!
+//! * **Determinism** — results are merged in input order, so the census
+//!   (and its rendering) is byte-identical whatever the worker count or
+//!   completion order.
+//! * **Panic isolation** — a trace that panics the analyzer costs exactly
+//!   one failed item, never the pipeline; the panic message is captured
+//!   into that item's report.
+//! * **Worker reuse** — each worker keeps one [`Analyzer`] (and its
+//!   vantage) for its whole life; per-trace setup is just the trace load.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+use crate::calibrate::Vantage;
+use crate::fingerprint::FitClass;
+use crate::report::{AnalysisReport, Analyzer};
+use tcpa_trace::source::{CorpusItem, TraceInput, TraceSource};
+use tcpa_trace::{Duration, Summary, Trace};
+
+/// Batch-pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// Vantage assumed for every trace. [`Vantage::Unknown`] auto-detects
+    /// per trace (§3.2), like the CLI's default single-trace mode.
+    pub vantage: Vantage,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> CorpusConfig {
+        CorpusConfig {
+            jobs: 0,
+            vantage: Vantage::Unknown,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// The concrete worker count this config resolves to.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// What happened to one corpus item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemOutcome {
+    /// Analyzed successfully; the distilled conclusions.
+    Analyzed(ItemSummary),
+    /// The trace could not be loaded or decoded.
+    LoadError(String),
+    /// The analyzer panicked on this trace; the payload message.
+    Panicked(String),
+}
+
+/// Per-item result, in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemReport {
+    /// Position in the corpus (0-based input order).
+    pub index: usize,
+    /// The item's label (file path or synthetic name).
+    pub id: String,
+    /// What happened.
+    pub outcome: ItemOutcome,
+}
+
+/// The distilled per-trace conclusions kept by the census. The full
+/// [`AnalysisReport`] (every candidate's replay) would be megabytes per
+/// item at corpus scale; this is the part Table 1 needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemSummary {
+    /// Packets in the trace.
+    pub records: usize,
+    /// Connections found after calibration.
+    pub connections: usize,
+    /// Per connection: the close best-fit implementation, if any.
+    pub best_fits: Vec<Option<String>>,
+    /// Measurement duplicates removed (§3.1.2).
+    pub duplicates: usize,
+    /// Timestamp decreases (§3.1.4).
+    pub time_travel: usize,
+    /// Filter resequencing evidence (§3.1.3).
+    pub resequencing: usize,
+    /// Packet-filter drop evidence (§3.1.1).
+    pub drop_evidence: usize,
+    /// Response-delay samples of each connection's best-fit candidate.
+    pub response_delays: Vec<Duration>,
+}
+
+impl ItemSummary {
+    /// `true` when calibration flagged any measurement error.
+    pub fn has_calibration_errors(&self) -> bool {
+        self.duplicates + self.time_travel + self.resequencing + self.drop_evidence > 0
+    }
+}
+
+/// Distills a full report into the census-relevant summary.
+fn distill(report: &AnalysisReport, records: usize) -> ItemSummary {
+    let mut best_fits = Vec::with_capacity(report.connections.len());
+    let mut response_delays = Vec::new();
+    for conn in &report.connections {
+        best_fits.push(conn.best_fit().map(str::to_owned));
+        if let Some(top) = conn.fingerprint.first() {
+            if top.fit == FitClass::Close {
+                response_delays.extend_from_slice(top.analysis.response_delays.samples());
+            }
+        }
+    }
+    ItemSummary {
+        records,
+        connections: report.connections.len(),
+        best_fits,
+        duplicates: report.calibration.duplicates.len(),
+        time_travel: report.calibration.time_travel.len(),
+        resequencing: report.calibration.resequencing.len(),
+        drop_evidence: report.calibration.drop_evidence.len(),
+        response_delays,
+    }
+}
+
+/// Aggregated, order-independent corpus conclusions.
+#[derive(Debug, Clone)]
+pub struct Census {
+    /// Items fed in.
+    pub items_total: usize,
+    /// Items analyzed successfully.
+    pub analyzed: usize,
+    /// Items whose trace failed to load/decode.
+    pub load_errors: usize,
+    /// Items that panicked the analyzer.
+    pub panics: usize,
+    /// Connections across all analyzed traces.
+    pub connections: usize,
+    /// Packets across all analyzed traces.
+    pub records: u64,
+    /// Close best-fit counts per implementation name (Table 1's census).
+    pub best_fit: BTreeMap<String, usize>,
+    /// Connections with no close-fitting candidate.
+    pub unidentified: usize,
+    /// Measurement duplicates removed, summed.
+    pub duplicates: usize,
+    /// Time-travel instances, summed.
+    pub time_travel: usize,
+    /// Resequencing evidence, summed.
+    pub resequencing: usize,
+    /// Filter-drop evidence, summed.
+    pub drop_evidence: usize,
+    /// Traces with at least one calibration finding.
+    pub traces_with_calibration_errors: usize,
+    /// Best-fit response delays pooled across the corpus.
+    pub response_delays: Summary,
+}
+
+impl Census {
+    fn new() -> Census {
+        Census {
+            items_total: 0,
+            analyzed: 0,
+            load_errors: 0,
+            panics: 0,
+            connections: 0,
+            records: 0,
+            best_fit: BTreeMap::new(),
+            unidentified: 0,
+            duplicates: 0,
+            time_travel: 0,
+            resequencing: 0,
+            drop_evidence: 0,
+            traces_with_calibration_errors: 0,
+            response_delays: Summary::new(),
+        }
+    }
+
+    fn absorb(&mut self, report: &ItemReport) {
+        self.items_total += 1;
+        match &report.outcome {
+            ItemOutcome::LoadError(_) => self.load_errors += 1,
+            ItemOutcome::Panicked(_) => self.panics += 1,
+            ItemOutcome::Analyzed(s) => {
+                self.analyzed += 1;
+                self.connections += s.connections;
+                self.records += s.records as u64;
+                for fit in &s.best_fits {
+                    match fit {
+                        Some(name) => *self.best_fit.entry(name.clone()).or_insert(0) += 1,
+                        None => self.unidentified += 1,
+                    }
+                }
+                self.duplicates += s.duplicates;
+                self.time_travel += s.time_travel;
+                self.resequencing += s.resequencing;
+                self.drop_evidence += s.drop_evidence;
+                if s.has_calibration_errors() {
+                    self.traces_with_calibration_errors += 1;
+                }
+                for &d in &s.response_delays {
+                    self.response_delays.add(d);
+                }
+            }
+        }
+    }
+
+    /// Items that did not produce an analysis.
+    pub fn failed(&self) -> usize {
+        self.load_errors + self.panics
+    }
+}
+
+/// Everything a corpus run yields: ordered per-item reports + the census.
+#[derive(Debug, Clone)]
+pub struct CorpusReport {
+    /// One entry per input item, ordered by input index regardless of
+    /// which worker finished when.
+    pub items: Vec<ItemReport>,
+    /// The merged census.
+    pub census: Census,
+}
+
+impl CorpusReport {
+    /// Renders the Table-1-style census plus a failure list. Deterministic:
+    /// identical corpora yield byte-identical output whatever `jobs` was.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let c = &self.census;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Corpus census: {} traces ({} analyzed, {} load errors, {} panics) ==",
+            c.items_total, c.analyzed, c.load_errors, c.panics
+        );
+        let _ = writeln!(
+            out,
+            "  connections: {}   packets: {}",
+            c.connections, c.records
+        );
+        let _ = writeln!(
+            out,
+            "  calibration: {} dup records removed, {} time travel, {} reseq, {} filter-drop evidence ({} traces affected)",
+            c.duplicates, c.time_travel, c.resequencing, c.drop_evidence,
+            c.traces_with_calibration_errors
+        );
+        let mut delays = c.response_delays.clone();
+        if !delays.is_empty() {
+            let _ = writeln!(
+                out,
+                "  best-fit response delays: p50 {} p90 {} max {} ({} samples)",
+                delays.median().unwrap(),
+                delays.percentile(90.0).unwrap(),
+                delays.max().unwrap(),
+                delays.count()
+            );
+        }
+        let _ = writeln!(out, "  {:<26} best-fit connections", "implementation");
+        let _ = writeln!(out, "  {}", "-".repeat(46));
+        for (name, count) in &c.best_fit {
+            let _ = writeln!(out, "  {name:<26} {count}");
+        }
+        if c.unidentified > 0 {
+            let _ = writeln!(out, "  {:<26} {}", "(no close fit)", c.unidentified);
+        }
+        let failures: Vec<&ItemReport> = self
+            .items
+            .iter()
+            .filter(|r| !matches!(r.outcome, ItemOutcome::Analyzed(_)))
+            .collect();
+        if !failures.is_empty() {
+            let _ = writeln!(out, "  failed items:");
+            for r in failures {
+                let what = match &r.outcome {
+                    ItemOutcome::LoadError(e) => format!("load error: {e}"),
+                    ItemOutcome::Panicked(p) => format!("analyzer panic: {p}"),
+                    ItemOutcome::Analyzed(_) => unreachable!(),
+                };
+                let _ = writeln!(out, "    [{:>4}] {}: {}", r.index, r.id, what);
+            }
+        }
+        out
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Analyzes one loaded trace with a vantage-appropriate analyzer.
+fn analyze_one(fixed: Option<&Analyzer>, trace: &Trace) -> ItemSummary {
+    let report = match fixed {
+        Some(analyzer) => analyzer.analyze(trace),
+        None => Analyzer::auto(trace).analyze(trace),
+    };
+    distill(&report, trace.len())
+}
+
+struct Cursor<S> {
+    source: S,
+    next_index: usize,
+}
+
+/// Runs the corpus through `config.effective_jobs()` workers and merges
+/// the results deterministically.
+///
+/// Workers pull items from the source behind a mutex (pulling is cheap;
+/// loading and analysis happen outside the lock), analyze them with a
+/// per-worker [`Analyzer`], and send `(index, outcome)` down a channel.
+/// The caller's thread collects everything and restores input order, so
+/// the returned [`CorpusReport`] — and its rendering — is byte-identical
+/// to a `jobs = 1` run.
+pub fn analyze_corpus<S: TraceSource>(source: S, config: &CorpusConfig) -> CorpusReport {
+    let jobs = config.effective_jobs().max(1);
+    let cursor = Mutex::new(Cursor {
+        source,
+        next_index: 0,
+    });
+    let (tx, rx) = mpsc::channel::<ItemReport>();
+
+    let mut items = thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let vantage = config.vantage;
+            scope.spawn(move || {
+                // Per-worker analyzer: constructed once, reused for every
+                // item this worker claims (auto-vantage has no fixed
+                // analyzer; it must sniff each trace).
+                let fixed = match vantage {
+                    Vantage::Sender => Some(Analyzer::at_sender()),
+                    Vantage::Receiver => Some(Analyzer::at_receiver()),
+                    Vantage::Unknown => None,
+                };
+                loop {
+                    let (index, item) = {
+                        let mut cur = cursor.lock().expect("corpus source lock poisoned");
+                        match cur.source.next_item() {
+                            Some(item) => {
+                                let index = cur.next_index;
+                                cur.next_index += 1;
+                                (index, item)
+                            }
+                            None => break,
+                        }
+                    };
+                    let CorpusItem { id, input } = item;
+                    let outcome = process_item(fixed.as_ref(), input);
+                    if tx.send(ItemReport { index, id, outcome }).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Collect on this thread while workers run; order restored below.
+        rx.into_iter().collect::<Vec<ItemReport>>()
+    });
+
+    items.sort_unstable_by_key(|r| r.index);
+    let mut census = Census::new();
+    for report in &items {
+        census.absorb(report);
+    }
+    CorpusReport { items, census }
+}
+
+/// Loads and analyzes one item, converting panics into a reported outcome.
+fn process_item(fixed: Option<&Analyzer>, input: TraceInput) -> ItemOutcome {
+    match catch_unwind(AssertUnwindSafe(|| match input.load() {
+        Ok(trace) => ItemOutcome::Analyzed(analyze_one(fixed, &trace)),
+        Err(e) => ItemOutcome::LoadError(e),
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => ItemOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpa_trace::source::MemorySource;
+
+    #[test]
+    fn empty_corpus_renders() {
+        let report = analyze_corpus(MemorySource::default(), &CorpusConfig::default());
+        assert_eq!(report.census.items_total, 0);
+        assert!(report.render().contains("0 traces"));
+    }
+
+    #[test]
+    fn effective_jobs_defaults_to_parallelism() {
+        assert!(CorpusConfig::default().effective_jobs() >= 1);
+        let one = CorpusConfig {
+            jobs: 1,
+            ..CorpusConfig::default()
+        };
+        assert_eq!(one.effective_jobs(), 1);
+    }
+
+    #[test]
+    fn load_error_is_isolated() {
+        let source = MemorySource::new(vec![tcpa_trace::CorpusItem::pcap(
+            "/nonexistent/never.pcap",
+        )]);
+        let report = analyze_corpus(source, &CorpusConfig::default());
+        assert_eq!(report.census.load_errors, 1);
+        assert!(matches!(report.items[0].outcome, ItemOutcome::LoadError(_)));
+        assert!(report.render().contains("load error"));
+    }
+}

@@ -92,17 +92,12 @@ pub fn fingerprint(conn: &Connection) -> Vec<FingerprintResult> {
         .filter_map(|cfg| fingerprint_one(conn, cfg))
         .collect();
     results.sort_by(|a, b| {
-        a.fit.cmp(&b.fit).then_with(|| {
-            match a.fit {
-                FitClass::ClearlyIncorrect => a
-                    .analysis
-                    .hard_issues()
-                    .cmp(&b.analysis.hard_issues()),
-                _ => {
-                    let ma = a.analysis.response_delays.mean().unwrap_or(Duration::ZERO);
-                    let mb = b.analysis.response_delays.mean().unwrap_or(Duration::ZERO);
-                    ma.cmp(&mb)
-                }
+        a.fit.cmp(&b.fit).then_with(|| match a.fit {
+            FitClass::ClearlyIncorrect => a.analysis.hard_issues().cmp(&b.analysis.hard_issues()),
+            _ => {
+                let ma = a.analysis.response_delays.mean().unwrap_or(Duration::ZERO);
+                let mb = b.analysis.response_delays.mean().unwrap_or(Duration::ZERO);
+                ma.cmp(&mb)
             }
         })
     });
@@ -196,10 +191,7 @@ pub struct ReceiverFit {
 }
 
 /// Checks one receiver analysis against one candidate's receiver config.
-pub fn receiver_fit(
-    analysis: &crate::receiver::ReceiverAnalysis,
-    cfg: &TcpConfig,
-) -> ReceiverFit {
+pub fn receiver_fit(analysis: &crate::receiver::ReceiverAnalysis, cfg: &TcpConfig) -> ReceiverFit {
     use crate::receiver::{AckClass, PolicyGuess};
     use tcpa_tcpsim::config::AckPolicy;
 
@@ -249,9 +241,7 @@ pub fn receiver_fit(
     // Stretch acks (§9.1): an every-two-segments receiver produces few;
     // a configured stretch-acker produces many.
     let stretch = analysis.count(AckClass::Stretch);
-    let normalish = stretch
-        + analysis.count(AckClass::Normal)
-        + analysis.count(AckClass::Delayed);
+    let normalish = stretch + analysis.count(AckClass::Normal) + analysis.count(AckClass::Delayed);
     if cfg.ack_every_n > 2 && normalish >= 16 && stretch * 2 < normalish {
         contradictions.push(format!(
             "configured stretch acking (every {}) but only {stretch}/{normalish} stretch acks",

@@ -24,6 +24,10 @@
 //!    known behavior profile against the trace and sorts them into
 //!    *close*, *imperfect* and *clearly-incorrect* fits (§5, §6.1).
 //!
+//! At corpus scale, [`corpus`] shards many traces across worker threads
+//! and merges the per-trace conclusions into a deterministic census
+//! (the paper analyzed tens of thousands of traces this way).
+//!
 //! The per-implementation behavioral knowledge (the paper's 1,400 lines of
 //! C++ subclasses) is shared with the endpoint simulators: it lives in
 //! `tcpa-tcpsim`'s [`TcpConfig`](tcpa_tcpsim::TcpConfig) and pure
@@ -40,6 +44,7 @@
 //! ```
 
 pub mod calibrate;
+pub mod corpus;
 pub mod fingerprint;
 pub mod handshake;
 pub mod receiver;
@@ -47,7 +52,8 @@ pub mod report;
 pub mod sender;
 
 pub use calibrate::{CalibrationReport, Calibrator};
-pub use fingerprint::{FitClass, FingerprintResult};
+pub use corpus::{analyze_corpus, Census, CorpusConfig, CorpusReport, ItemOutcome, ItemReport};
+pub use fingerprint::{FingerprintResult, FitClass};
 pub use handshake::{analyze_handshake, BackoffShape, HandshakeAnalysis};
 pub use receiver::{AckClass, ReceiverAnalysis};
 pub use report::{AnalysisReport, Analyzer};

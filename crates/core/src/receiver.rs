@@ -392,14 +392,10 @@ fn find_corrupt_arrivals(conn: &Connection) -> Vec<usize> {
             continue;
         }
         let acked_between = records[i + 1..j].iter().any(|(dir2, rec2)| {
-            *dir2 == Dir::ReceiverToSender
-                && rec2.tcp.flags.ack()
-                && rec2.tcp.ack.at_or_after(hi)
+            *dir2 == Dir::ReceiverToSender && rec2.tcp.flags.ack() && rec2.tcp.ack.at_or_after(hi)
         });
         let acked_after = records[j..].iter().any(|(dir2, rec2)| {
-            *dir2 == Dir::ReceiverToSender
-                && rec2.tcp.flags.ack()
-                && rec2.tcp.ack.at_or_after(hi)
+            *dir2 == Dir::ReceiverToSender && rec2.tcp.flags.ack() && rec2.tcp.ack.at_or_after(hi)
         });
         if !acked_between && acked_after {
             corrupt.push(i);
@@ -418,10 +414,7 @@ fn guess_policy(delayed: &mut Summary, acks: &[ClassifiedAck]) -> PolicyGuess {
     if mean < Duration::from_millis(2) {
         // Immediate acks; and with ack-every-packet virtually every ack
         // is a "delayed" (sub-two-segment) ack.
-        let delayed_count = acks
-            .iter()
-            .filter(|a| a.class == AckClass::Delayed)
-            .count();
+        let delayed_count = acks.iter().filter(|a| a.class == AckClass::Delayed).count();
         let counted = acks
             .iter()
             .filter(|a| {
@@ -461,7 +454,15 @@ mod tests {
     use tcpa_trace::{Trace, TraceRecord};
     use tcpa_wire::{IpProtocol, Ipv4Addr, Ipv4Repr, TcpFlags, TcpOption, TcpRepr};
 
-    fn rec(ts_ms: i64, src: u8, dst: u8, flags: TcpFlags, seq: u32, len: u32, ack: u32) -> TraceRecord {
+    fn rec(
+        ts_ms: i64,
+        src: u8,
+        dst: u8,
+        flags: TcpFlags,
+        seq: u32,
+        len: u32,
+        ack: u32,
+    ) -> TraceRecord {
         TraceRecord {
             ts: tcpa_trace::Time::from_millis(ts_ms),
             ip: Ipv4Repr {
@@ -517,7 +518,11 @@ mod tests {
         assert_eq!(a.count(AckClass::Normal), 1);
         assert_eq!(a.count(AckClass::Delayed), 1);
         assert_eq!(a.count(AckClass::Gratuitous), 0);
-        let delayed = &a.acks.iter().find(|x| x.class == AckClass::Delayed).unwrap();
+        let delayed = &a
+            .acks
+            .iter()
+            .find(|x| x.class == AckClass::Delayed)
+            .unwrap();
         assert_eq!(delayed.delay, Some(Duration::from_millis(150)));
     }
 
@@ -593,7 +598,7 @@ mod tests {
         let mut v = Vec::new();
         handshake(&mut v);
         v.push(rec(100, 1, 2, A, 1001, 512, 9001)); // arrives corrupted
-        // no ack; sender times out and retransmits:
+                                                    // no ack; sender times out and retransmits:
         v.push(rec(1500, 1, 2, A, 1001, 512, 9001));
         v.push(rec(1501, 2, 1, A, 9001, 0, 1513)); // now acked
         let a = analyze_receiver(&conn(v)).unwrap();
@@ -623,7 +628,15 @@ mod tests {
         for k in 0..40 {
             v.push(rec(t, 1, 2, A, 1001 + 512 * k as u32, 512, 9001));
             let d = (k * 37) % 200;
-            v.push(rec(t + 1 + d as i64, 2, 1, A, 9001, 0, 1513 + 512 * k as u32));
+            v.push(rec(
+                t + 1 + d as i64,
+                2,
+                1,
+                A,
+                9001,
+                0,
+                1513 + 512 * k as u32,
+            ));
             t += 1000;
         }
         let a = analyze_receiver(&conn(v.clone())).unwrap();

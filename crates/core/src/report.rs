@@ -1,7 +1,9 @@
 //! The one-call analyzer façade and its aggregate report.
 
 use crate::calibrate::{CalibrationReport, Calibrator, Vantage};
-use crate::fingerprint::{fingerprint, fingerprint_receiver, FingerprintResult, FitClass, ReceiverFit};
+use crate::fingerprint::{
+    fingerprint, fingerprint_receiver, FingerprintResult, FitClass, ReceiverFit,
+};
 use crate::handshake::{analyze_handshake, HandshakeAnalysis};
 use crate::receiver::{analyze_receiver, AckClass, ReceiverAnalysis};
 use tcpa_trace::{Connection, Trace};

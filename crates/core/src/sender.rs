@@ -956,7 +956,15 @@ mod tests {
     use tcpa_trace::{Trace, TraceRecord};
     use tcpa_wire::{IpProtocol, Ipv4Addr, Ipv4Repr, TcpFlags, TcpOption, TcpRepr};
 
-    fn rec(ts_ms: i64, src: u8, dst: u8, flags: TcpFlags, seq: u32, len: u32, ack: u32) -> TraceRecord {
+    fn rec(
+        ts_ms: i64,
+        src: u8,
+        dst: u8,
+        flags: TcpFlags,
+        seq: u32,
+        len: u32,
+        ack: u32,
+    ) -> TraceRecord {
         TraceRecord {
             ts: Time::from_millis(ts_ms),
             ip: Ipv4Repr {
@@ -1029,10 +1037,7 @@ mod tests {
         // Same trace, but a 4th segment in flight 3 exceeds cwnd=3·512.
         let conn = {
             let mut v = slow_start_trace().records;
-            v.push((
-                Dir::SenderToReceiver,
-                rec(307, 1, 2, A, 4073, 512, 9001),
-            ));
+            v.push((Dir::SenderToReceiver, rec(307, 1, 2, A, 4073, 512, 9001)));
             Connection {
                 records: v,
                 ..slow_start_trace()
@@ -1040,10 +1045,7 @@ mod tests {
         };
         let a = analyze_sender(&conn, &profiles::reno()).unwrap();
         assert_eq!(a.hard_issues(), 1, "{:?}", a.issues);
-        assert!(matches!(
-            a.issues[0].kind,
-            SenderIssueKind::WindowViolation
-        ));
+        assert!(matches!(a.issues[0].kind, SenderIssueKind::WindowViolation));
     }
 
     #[test]

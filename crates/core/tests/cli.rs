@@ -1,3 +1,7 @@
+// PathSpec scenarios are configured field-by-field from the default so
+// each deviation reads as one labelled line.
+#![allow(clippy::field_reassign_with_default)]
+
 //! End-to-end tests of the `tcpanaly` command-line binary: generate a
 //! pcap with the simulator, then drive the real executable over it.
 
@@ -9,7 +13,8 @@ use tcpa_trace::pcap_io;
 use tcpa_wire::TsResolution;
 
 fn write_trace(name: &str, trace: &tcpa_trace::Trace) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("tcpanaly_cli_{name}_{}.pcap", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("tcpanaly_cli_{name}_{}.pcap", std::process::id()));
     let file = std::fs::File::create(&path).expect("create pcap");
     pcap_io::write_pcap(trace, file, TsResolution::Micro, 0).expect("write pcap");
     path
@@ -119,7 +124,8 @@ fn cli_rejects_unknown_impl_and_missing_file() {
 
 #[test]
 fn cli_rejects_garbage_capture() {
-    let path = std::env::temp_dir().join(format!("tcpanaly_cli_garbage_{}.pcap", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("tcpanaly_cli_garbage_{}.pcap", std::process::id()));
     let mut f = std::fs::File::create(&path).unwrap();
     f.write_all(b"this is not a capture file at all").unwrap();
     drop(f);
@@ -127,6 +133,88 @@ fn cli_rejects_garbage_capture() {
     assert!(!ok);
     assert!(stderr.contains("magic"), "{stderr}");
     let _ = std::fs::remove_file(path);
+}
+
+/// Like [`tcpanaly`], but also returns the raw exit code (batch mode has
+/// a three-way convention: 0 ok, 1 failed items, 2 usage).
+fn tcpanaly_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tcpanaly"))
+        .args(args)
+        .output()
+        .expect("run tcpanaly");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// A temp directory holding `n` small generated pcaps.
+fn batch_dir(tag: &str, n: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcpanaly_batch_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for i in 0..n {
+        let out = run_transfer(
+            profiles::reno(),
+            profiles::reno(),
+            &PathSpec::default(),
+            8 * 1024,
+            500 + i as u64,
+        );
+        let file = std::fs::File::create(dir.join(format!("t{i}.pcap"))).unwrap();
+        pcap_io::write_pcap(&out.sender_trace(), file, TsResolution::Micro, 0).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn cli_batch_mode_prints_census_and_is_deterministic() {
+    let dir = batch_dir("census", 6);
+    let dir_arg = dir.to_str().unwrap();
+    let (one, _, code) = tcpanaly_code(&["--jobs", "1", dir_arg]);
+    assert_eq!(code, 0, "{one}");
+    assert!(one.contains("Corpus census: 6 traces (6 analyzed"), "{one}");
+    assert!(one.contains("best-fit connections"), "{one}");
+    let (four, _, code) = tcpanaly_code(&["--jobs", "4", dir_arg]);
+    assert_eq!(code, 0);
+    assert_eq!(one, four, "batch output must not depend on worker count");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cli_batch_mode_exit_codes() {
+    let dir = batch_dir("codes", 2);
+    let good = dir.join("t0.pcap");
+    // One unreadable item → census still prints, exit 1.
+    let (stdout, _, code) = tcpanaly_code(&[
+        "--jobs",
+        "2",
+        good.to_str().unwrap(),
+        "/nonexistent/never.pcap",
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("1 load errors"), "{stdout}");
+    assert!(stdout.contains("failed items:"), "{stdout}");
+    // Batch mode is incompatible with single-trace flags → usage (2).
+    let (_, stderr, code) = tcpanaly_code(&[
+        "--jobs",
+        "2",
+        "--impl",
+        "Generic Reno",
+        good.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("incompatible"), "{stderr}");
+    // A directory with no pcaps → usage (2).
+    let empty = dir.join("empty_sub");
+    std::fs::create_dir_all(&empty).unwrap();
+    let (_, stderr, code) = tcpanaly_code(&["--jobs", "0", empty.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("no .pcap files"), "{stderr}");
+    // Bad count → usage (2).
+    let (_, _, code) = tcpanaly_code(&["--jobs", "lots", good.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]

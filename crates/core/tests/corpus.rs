@@ -1,0 +1,123 @@
+//! Integration tests for the parallel corpus pipeline: determinism
+//! (parallel output byte-identical to serial), panic isolation, and
+//! pcap-backed sources.
+
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles;
+use tcpa_trace::{CorpusItem, MemorySource, Trace};
+use tcpanaly::calibrate::Vantage;
+use tcpanaly::corpus::{analyze_corpus, CorpusConfig, ItemOutcome};
+
+/// A 50-trace simulated corpus mixing implementations, sizes and seeds.
+fn build_corpus() -> Vec<CorpusItem> {
+    let senders = [
+        profiles::reno(),
+        profiles::tahoe(),
+        profiles::solaris_2_4(),
+        profiles::linux_1_0(),
+        profiles::windows_95(),
+    ];
+    let mut items = Vec::new();
+    for i in 0..50u64 {
+        let cfg = senders[(i % senders.len() as u64) as usize].clone();
+        let out = run_transfer(
+            cfg,
+            profiles::reno(),
+            &PathSpec::default(),
+            8 * 1024 + 512 * i,
+            900 + i,
+        );
+        items.push(CorpusItem::memory(format!("t{i:02}"), out.sender_trace()));
+    }
+    items
+}
+
+fn config(jobs: usize) -> CorpusConfig {
+    CorpusConfig {
+        jobs,
+        vantage: Vantage::Sender,
+    }
+}
+
+#[test]
+fn parallel_census_is_byte_identical_to_serial() {
+    let items = build_corpus();
+    let serial = analyze_corpus(MemorySource::new(items.clone()), &config(1));
+    let parallel = analyze_corpus(MemorySource::new(items), &config(4));
+    // Structural equality of every per-item result, in input order...
+    assert_eq!(serial.items, parallel.items);
+    // ...and the rendered census must match byte for byte.
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.census.analyzed, 50);
+    assert_eq!(serial.census.failed(), 0);
+}
+
+#[test]
+fn items_come_back_in_input_order_regardless_of_workers() {
+    let items = build_corpus();
+    let report = analyze_corpus(MemorySource::new(items), &config(8));
+    let ids: Vec<&str> = report.items.iter().map(|r| r.id.as_str()).collect();
+    let expected: Vec<String> = (0..50).map(|i| format!("t{i:02}")).collect();
+    assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
+    for (i, item) in report.items.iter().enumerate() {
+        assert_eq!(item.index, i);
+    }
+}
+
+#[test]
+fn one_poisoned_trace_costs_one_item_not_the_pipeline() {
+    // Silence the default panic hook: the poison's panic is expected and
+    // its backtrace would only clutter test output.
+    let prior = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut items = build_corpus();
+    items[17] = CorpusItem::poison("t17");
+    let report = analyze_corpus(MemorySource::new(items), &config(4));
+    std::panic::set_hook(prior);
+
+    assert_eq!(report.census.panics, 1);
+    assert_eq!(report.census.analyzed, 49);
+    assert!(matches!(
+        &report.items[17].outcome,
+        ItemOutcome::Panicked(msg) if msg.contains("poisoned corpus item")
+    ));
+    for (i, item) in report.items.iter().enumerate() {
+        if i != 17 {
+            assert!(
+                matches!(item.outcome, ItemOutcome::Analyzed(_)),
+                "item {i} should have survived the poison at 17"
+            );
+        }
+    }
+    assert!(report.render().contains("analyzer panic"));
+}
+
+#[test]
+fn load_errors_and_empty_traces_are_reported_not_fatal() {
+    let items = vec![
+        CorpusItem::memory("empty", Trace::new()),
+        CorpusItem::pcap("/nonexistent/never.pcap"),
+    ];
+    let report = analyze_corpus(MemorySource::new(items), &config(2));
+    assert_eq!(report.census.items_total, 2);
+    assert_eq!(report.census.load_errors, 1);
+    // An empty trace analyzes to zero connections rather than failing.
+    assert!(matches!(report.items[0].outcome, ItemOutcome::Analyzed(_)));
+    assert_eq!(report.census.connections, 0);
+}
+
+#[test]
+fn auto_vantage_batch_matches_fixed_vantage_on_sender_traces() {
+    let items = build_corpus();
+    let fixed = analyze_corpus(MemorySource::new(items.clone()), &config(2));
+    let auto = analyze_corpus(
+        MemorySource::new(items),
+        &CorpusConfig {
+            jobs: 2,
+            vantage: Vantage::Unknown,
+        },
+    );
+    // Auto-detection must land on Sender for these traces, so the merged
+    // census agrees with the explicitly-configured run.
+    assert_eq!(fixed.render(), auto.render());
+}

@@ -1,3 +1,7 @@
+// PathSpec scenarios are configured field-by-field from the default so
+// each deviation reads as one labelled line.
+#![allow(clippy::field_reassign_with_default)]
+
 //! End-to-end validation: traces produced by the TCP endpoint simulators
 //! over the network simulator, measured by (perfect or faulty) packet
 //! filters, must be correctly calibrated and fingerprinted by tcpanaly.
@@ -10,11 +14,11 @@ use tcpa_filter::{apply, DropModel, FilterConfig};
 use tcpa_netsim::LossModel;
 use tcpa_tcpsim::harness::{run_transfer, run_transfer_with, Extras, PathSpec};
 use tcpa_tcpsim::profiles;
+use tcpa_trace::{Connection, Duration, Time};
 use tcpanaly::calibrate::{Calibrator, DropCheck};
 use tcpanaly::fingerprint::{fingerprint_one, FitClass};
 use tcpanaly::receiver::{analyze_receiver, AckClass, PolicyGuess};
 use tcpanaly::sender::analyze_sender;
-use tcpa_trace::{Connection, Duration, Time};
 
 const KB100: u64 = 100 * 1024;
 
@@ -34,7 +38,13 @@ fn receiver_conn(out: &tcpa_tcpsim::harness::TransferOutcome) -> Connection {
 fn every_profile_fits_its_own_clean_trace() {
     for cfg in profiles::all_profiles() {
         let name = cfg.name;
-        let out = run_transfer(cfg.clone(), profiles::reno(), &PathSpec::default(), KB100, 21);
+        let out = run_transfer(
+            cfg.clone(),
+            profiles::reno(),
+            &PathSpec::default(),
+            KB100,
+            21,
+        );
         assert!(out.completed, "{name}");
         let conn = sender_conn(&out);
         let fit = fingerprint_one(&conn, &cfg).expect("analyzable");
@@ -102,10 +112,21 @@ fn linux_storm_trace_rejects_reno_model() {
     let mut path = PathSpec::default();
     path.loss_data = LossModel::Periodic(20);
     path.queue_cap = 8;
-    let out = run_transfer(profiles::linux_1_0(), profiles::linux_1_0(), &path, KB100, 24);
+    let out = run_transfer(
+        profiles::linux_1_0(),
+        profiles::linux_1_0(),
+        &path,
+        KB100,
+        24,
+    );
     let conn = sender_conn(&out);
     let lin = fingerprint_one(&conn, &profiles::linux_1_0()).unwrap();
-    assert_eq!(lin.fit, FitClass::Close, "{:?}", lin.analysis.issues.iter().take(3).collect::<Vec<_>>());
+    assert_eq!(
+        lin.fit,
+        FitClass::Close,
+        "{:?}",
+        lin.analysis.issues.iter().take(3).collect::<Vec<_>>()
+    );
     let reno = fingerprint_one(&conn, &profiles::reno()).unwrap();
     assert_eq!(
         reno.fit,
@@ -193,7 +214,12 @@ fn sender_window_inferred_from_simulated_buffer_limit() {
         (7 * 1024..=8 * 1024).contains(&inferred),
         "inferred {inferred} vs actual 8192"
     );
-    assert_eq!(a.hard_issues(), 0, "{:?}", a.issues.iter().take(3).collect::<Vec<_>>());
+    assert_eq!(
+        a.hard_issues(),
+        0,
+        "{:?}",
+        a.issues.iter().take(3).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -242,7 +268,10 @@ fn bsd_receiver_policy_identified_as_heartbeat() {
         PolicyGuess::Heartbeat { period_ms } => {
             assert!((120..=260).contains(&period_ms), "period {period_ms}");
         }
-        other => panic!("expected heartbeat, got {other:?} (delays mean {:?})", a.ack_delays.mean()),
+        other => panic!(
+            "expected heartbeat, got {other:?} (delays mean {:?})",
+            a.ack_delays.mean()
+        ),
     }
     assert!(a.count(AckClass::Gratuitous) == 0);
 }
@@ -258,7 +287,12 @@ fn linux_receiver_policy_identified_as_every_packet() {
     );
     let conn = receiver_conn(&out);
     let a = analyze_receiver(&conn).unwrap();
-    assert_eq!(a.policy, PolicyGuess::EveryPacket, "{:?}", a.ack_delays.mean());
+    assert_eq!(
+        a.policy,
+        PolicyGuess::EveryPacket,
+        "{:?}",
+        a.ack_delays.mean()
+    );
 }
 
 #[test]
@@ -267,7 +301,13 @@ fn solaris_receiver_policy_identified_as_interval_timer() {
     // 50 ms-delayed ack (§9.1's sub-optimality analysis).
     let mut path = PathSpec::default();
     path.rate_bps = 64_000;
-    let out = run_transfer(profiles::reno(), profiles::solaris_2_4(), &path, 48 * 1024, 32);
+    let out = run_transfer(
+        profiles::reno(),
+        profiles::solaris_2_4(),
+        &path,
+        48 * 1024,
+        32,
+    );
     let conn = receiver_conn(&out);
     let a = analyze_receiver(&conn).unwrap();
     match a.policy {
@@ -385,10 +425,10 @@ fn filter_drops_detected_at_sender_vantage() {
         !cal.drop_evidence.is_empty(),
         "burst of missing records must be noticed"
     );
-    assert!(cal
-        .drop_evidence
-        .iter()
-        .any(|e| matches!(e.check, DropCheck::AckOfUnseenData | DropCheck::DataHoleSkipped | DropCheck::IdentSequenceGap)));
+    assert!(cal.drop_evidence.iter().any(|e| matches!(
+        e.check,
+        DropCheck::AckOfUnseenData | DropCheck::DataHoleSkipped | DropCheck::IdentSequenceGap
+    )));
 }
 
 #[test]
@@ -491,7 +531,13 @@ fn window_limited_transfer_still_self_fits() {
     let mut receiver = profiles::reno();
     receiver.app_read_rate = Some(512);
     receiver.recv_window = 4 * 1460;
-    let out = run_transfer(profiles::reno(), receiver, &PathSpec::default(), 16 * 1024, 60);
+    let out = run_transfer(
+        profiles::reno(),
+        receiver,
+        &PathSpec::default(),
+        16 * 1024,
+        60,
+    );
     assert!(out.completed);
     assert!(out.sender_stats.zero_window_probes > 0);
     let conn = sender_conn(&out);
@@ -502,10 +548,7 @@ fn window_limited_transfer_still_self_fits() {
         "{:?}",
         a.issues.iter().take(3).collect::<Vec<_>>()
     );
-    assert!(
-        a.zero_window_probes > 0,
-        "probes recognized, not flagged"
-    );
+    assert!(a.zero_window_probes > 0, "probes recognized, not flagged");
     // The socket-buffer inference must not misfire on a *receiver*-window
     // limit (it is the offered window doing the limiting here).
     assert_eq!(a.inferred_sender_window, None);
@@ -618,7 +661,11 @@ fn receiver_fingerprint_identifies_policy_families() {
     let conn = receiver_conn(&out);
     let fits = fingerprint_receiver(&conn);
     let fit_of = |name: &str| fits.iter().find(|f| f.name == name).unwrap();
-    assert!(fit_of("Generic Reno").consistent, "{:?}", fit_of("Generic Reno").contradictions);
+    assert!(
+        fit_of("Generic Reno").consistent,
+        "{:?}",
+        fit_of("Generic Reno").contradictions
+    );
     assert!(
         !fit_of("Linux 1.0").consistent,
         "a heartbeat receiver is not an ack-every-packet receiver"
@@ -632,7 +679,11 @@ fn receiver_fingerprint_identifies_policy_families() {
 
 #[test]
 fn conforming_receivers_draw_no_rfc_violations() {
-    for cfg in [profiles::reno(), profiles::linux_1_0(), profiles::solaris_2_4()] {
+    for cfg in [
+        profiles::reno(),
+        profiles::linux_1_0(),
+        profiles::solaris_2_4(),
+    ] {
         let name = cfg.name;
         let mut path = PathSpec::default();
         path.rate_bps = 128_000;
@@ -667,7 +718,9 @@ fn lazy_acker_flagged_for_both_rfc_duties() {
         "delay violations expected"
     );
     assert!(
-        a.rfc_violations.iter().any(|v| v.detail.contains("every two")),
+        a.rfc_violations
+            .iter()
+            .any(|v| v.detail.contains("every two")),
         "two-segment violations expected: {:?}",
         a.rfc_violations.iter().take(3).collect::<Vec<_>>()
     );

@@ -31,7 +31,12 @@ impl ClockModel {
     /// The §3.1.4 BSDI/NetBSD pattern: the clock runs fast by `skew_ppm`
     /// and an external synchronization daemon yanks it back by `step`
     /// every `period` of true time, causing periodic backward jumps.
-    pub fn fast_with_periodic_sync(skew_ppm: f64, period: Duration, step: Duration, horizon: Time) -> ClockModel {
+    pub fn fast_with_periodic_sync(
+        skew_ppm: f64,
+        period: Duration,
+        step: Duration,
+        horizon: Time,
+    ) -> ClockModel {
         assert!(step.as_nanos() >= 0, "step must be given as a magnitude");
         let mut adjustments = Vec::new();
         let mut t = Time::ZERO + period;

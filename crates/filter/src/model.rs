@@ -338,7 +338,10 @@ mod tests {
         assert_eq!(outs.len(), 20);
         assert!(outs[0].ts < outs[1].ts);
         assert_eq!(outs[0].tcp.seq, outs[1].tcp.seq);
-        assert_eq!(outs[0].ip.ident, outs[1].ip.ident, "same packet, not a retransmit");
+        assert_eq!(
+            outs[0].ip.ident, outs[1].ip.ident,
+            "same packet, not a retransmit"
+        );
     }
 
     #[test]
@@ -405,8 +408,9 @@ mod tests {
     fn time_travel_produces_decreasing_timestamps() {
         // Packets 1 ms apart — closer together than the 3 ms backward
         // sync steps, so the steps are visible as decreasing stamps.
-        let events: Vec<TapEvent> =
-            (0..10_000).map(|i| ev(i, TapDir::Out, i as u32, 512)).collect();
+        let events: Vec<TapEvent> = (0..10_000)
+            .map(|i| ev(i, TapDir::Out, i as u32, 512))
+            .collect();
         let cfg = FilterConfig::time_travelling(Time::from_secs(10));
         let (trace, _) = apply(&events, &cfg, 1);
         let decreases = trace

@@ -54,17 +54,19 @@ fn arb_config() -> impl Strategy<Value = FilterConfig> {
         (-400.0f64..400.0, 0i64..100),
         any::<bool>(),
     )
-        .prop_map(|(drops, dup, reseq, (ppm, offset_ms), headers_only)| FilterConfig {
-            drops,
-            duplication: dup.then(DupModel::default),
-            resequencing: reseq.then(ReseqModel::default),
-            clock: ClockModel {
-                offset: Duration::from_millis(offset_ms),
-                skew_ppm: ppm,
-                adjustments: vec![],
+        .prop_map(
+            |(drops, dup, reseq, (ppm, offset_ms), headers_only)| FilterConfig {
+                drops,
+                duplication: dup.then(DupModel::default),
+                resequencing: reseq.then(ReseqModel::default),
+                clock: ClockModel {
+                    offset: Duration::from_millis(offset_ms),
+                    skew_ppm: ppm,
+                    adjustments: vec![],
+                },
+                headers_only,
             },
-            headers_only,
-        })
+        )
 }
 
 proptest! {

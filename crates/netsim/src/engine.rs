@@ -246,11 +246,7 @@ impl NetBuilder {
                 for (li, link) in links.iter().enumerate() {
                     if link.src_host == u && dist[link.dst_host] == usize::MAX {
                         dist[link.dst_host] = dist[u] + 1;
-                        first_link[link.dst_host] = if u == src {
-                            Some(li)
-                        } else {
-                            first_link[u]
-                        };
+                        first_link[link.dst_host] = if u == src { Some(li) } else { first_link[u] };
                         queue.push_back(link.dst_host);
                     }
                 }
@@ -578,7 +574,7 @@ mod tests {
         fn emit(&mut self, out: &mut Vec<Packet>) {
             let mut tcp = TcpRepr::new(1000, 2000);
             tcp.flags = TcpFlags::ACK;
-            tcp.seq = tcpa_wire::SeqNum(u32::from(self.sent) * 1000);
+            tcp.seq = tcpa_wire::SeqNum(self.sent * 1000);
             out.push(Packet::tcp(self.src, self.dst, self.sent as u16, tcp, 1000));
             self.sent += 1;
         }
@@ -625,7 +621,13 @@ mod tests {
                 self.received += 1;
                 let mut reply = TcpRepr::new(tcp.dst_port, tcp.src_port);
                 reply.flags = TcpFlags::ACK;
-                out.push(Packet::tcp(self.src, pkt.src, self.received as u16, reply, 0));
+                out.push(Packet::tcp(
+                    self.src,
+                    pkt.src,
+                    self.received as u16,
+                    reply,
+                    0,
+                ));
             }
         }
         fn on_timer(&mut self, _now: Time, _out: &mut Vec<Packet>) {}
@@ -644,11 +646,7 @@ mod tests {
         (Ipv4Addr::from_host_id(1), Ipv4Addr::from_host_id(2))
     }
 
-    fn build_path(
-        count: u32,
-        wan_ab: LinkParams,
-        wan_ba: LinkParams,
-    ) -> (Engine, HostId, HostId) {
+    fn build_path(count: u32, wan_ab: LinkParams, wan_ba: LinkParams) -> (Engine, HostId, HostId) {
         let (a_addr, b_addr) = addrs();
         let (nb, a, b) = NetBuilder::two_endpoint_path(
             a_addr,
@@ -785,7 +783,10 @@ mod tests {
         let t_stack = ev.t_stack.expect("outbound event carries stack time");
         assert!(ev.t_wire > t_stack, "serialization takes time");
         // 1054 bytes at 10 Mb/s LAN = 843.2 µs.
-        assert_eq!(ev.t_wire - t_stack, Duration::transmission(1054, 10_000_000));
+        assert_eq!(
+            ev.t_wire - t_stack,
+            Duration::transmission(1054, 10_000_000)
+        );
     }
 
     #[test]

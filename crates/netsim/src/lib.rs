@@ -28,7 +28,9 @@ pub mod packet;
 pub mod rng;
 pub mod stack;
 
-pub use engine::{perfect_trace, Engine, GroundTruth, HostId, NetBuilder, SimResults, TapDir, TapEvent};
+pub use engine::{
+    perfect_trace, Engine, GroundTruth, HostId, NetBuilder, SimResults, TapDir, TapEvent,
+};
 pub use link::{LinkParams, LossModel};
 pub use packet::{Packet, PacketKind};
 pub use stack::Stack;

@@ -2,9 +2,7 @@
 //! timer rescheduling, and horizon clamping.
 
 use tcpa_netsim::stack::NullStack;
-use tcpa_netsim::{
-    Engine, LinkParams, NetBuilder, Packet, Stack, TapDir,
-};
+use tcpa_netsim::{Engine, LinkParams, NetBuilder, Packet, Stack, TapDir};
 use tcpa_trace::{Duration, Time};
 use tcpa_wire::{Ipv4Addr, TcpFlags, TcpRepr};
 

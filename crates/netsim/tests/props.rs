@@ -25,7 +25,13 @@ impl Pump {
             let mut tcp = TcpRepr::new(7, 8);
             tcp.flags = TcpFlags::ACK;
             tcp.seq = SeqNum(self.remaining * 100);
-            out.push(Packet::tcp(self.src, self.dst, self.remaining as u16, tcp, 512));
+            out.push(Packet::tcp(
+                self.src,
+                self.dst,
+                self.remaining as u16,
+                tcp,
+                512,
+            ));
             self.remaining -= 1;
         }
     }

@@ -895,14 +895,15 @@ impl TcpEndpoint {
             self.want_close = true;
         }
 
-        let gratuitous = self.cfg.gratuitous_ack_bug && self.stats.data_packets_received.is_multiple_of(32);
+        let gratuitous =
+            self.cfg.gratuitous_ack_bug && self.stats.data_packets_received.is_multiple_of(32);
 
         if self.peer_fin_received || filled_hole {
             // Mandatory: ack the FIN / the newly completed sequence run.
             self.send_ack(out);
         } else {
-            let in_initial_phase = self.stats.data_packets_received
-                <= u64::from(self.cfg.initial_ack_every_packet);
+            let in_initial_phase =
+                self.stats.data_packets_received <= u64::from(self.cfg.initial_ack_every_packet);
             let every_packet = matches!(self.cfg.ack_policy, AckPolicy::EveryPacket);
             let threshold = self.cfg.ack_every_n * self.rcv_seg();
             if every_packet || in_initial_phase || self.ack_pending_bytes >= threshold {

@@ -8,9 +8,7 @@
 
 use crate::config::TcpConfig;
 use crate::endpoint::{EndpointStats, Role, TcpEndpoint};
-use tcpa_netsim::{
-    perfect_trace, GroundTruth, LinkParams, LossModel, NetBuilder, Stack, TapEvent,
-};
+use tcpa_netsim::{perfect_trace, GroundTruth, LinkParams, LossModel, NetBuilder, Stack, TapEvent};
 use tcpa_trace::{Duration, Time, Trace};
 use tcpa_wire::Ipv4Addr;
 
@@ -121,7 +119,14 @@ pub fn run_transfer(
     bytes: u64,
     seed: u64,
 ) -> TransferOutcome {
-    run_transfer_with(sender_cfg, receiver_cfg, path, bytes, seed, &Extras::default())
+    run_transfer_with(
+        sender_cfg,
+        receiver_cfg,
+        path,
+        bytes,
+        seed,
+        &Extras::default(),
+    )
 }
 
 /// [`run_transfer`] with injection extras.
@@ -177,8 +182,12 @@ pub fn run_transfer_with(
         s.done() && r.done() && !s.failed() && !r.failed()
     };
     let results = engine.into_results();
-    let sender_stats = downcast(results.stacks[a].as_deref().unwrap()).stats.clone();
-    let receiver_stats = downcast(results.stacks[b].as_deref().unwrap()).stats.clone();
+    let sender_stats = downcast(results.stacks[a].as_deref().unwrap())
+        .stats
+        .clone();
+    let receiver_stats = downcast(results.stacks[b].as_deref().unwrap())
+        .stats
+        .clone();
     let mut taps = results.taps;
     TransferOutcome {
         receiver_tap: std::mem::take(&mut taps[b]),

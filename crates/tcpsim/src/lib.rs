@@ -32,15 +32,17 @@
 //! same rules against traces — one behavioral spec, two consumers.
 
 pub mod config;
-pub mod harness;
 pub mod congestion;
 pub mod endpoint;
+pub mod harness;
 pub mod profiles;
 pub mod rtt;
 
-pub use config::{AckPolicy, CwndIncrease, FastRecovery, Lineage, QuenchResponse, RtoScheme, TcpConfig};
+pub use config::{
+    AckPolicy, CwndIncrease, FastRecovery, Lineage, QuenchResponse, RtoScheme, TcpConfig,
+};
 pub use congestion::CcState;
-pub use harness::{run_transfer, run_transfer_with, Extras, PathSpec, TransferOutcome};
 pub use endpoint::{EndpointStats, Role, TcpEndpoint};
+pub use harness::{run_transfer, run_transfer_with, Extras, PathSpec, TransferOutcome};
 pub use profiles::{all_profiles, profile_by_name};
 pub use rtt::RttEstimator;

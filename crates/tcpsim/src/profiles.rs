@@ -413,8 +413,6 @@ mod tests {
         assert!(ps.iter().any(|p| p.fencepost_bug));
         assert!(ps.iter().any(|p| p.header_prediction_bug));
         assert!(ps.iter().any(|p| p.gratuitous_ack_bug));
-        assert!(ps
-            .iter()
-            .any(|p| p.cwnd_increase == CwndIncrease::Linear));
+        assert!(ps.iter().any(|p| p.cwnd_increase == CwndIncrease::Linear));
     }
 }

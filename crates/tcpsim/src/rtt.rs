@@ -145,7 +145,7 @@ mod tests {
     fn first_sample_sets_srtt_and_var() {
         let mut est = bsd();
         est.sample(Duration::from_millis(400)); // quantized to 500ms
-        // rto = srtt + 4*rttvar = 500 + 4*250 = 1500ms
+                                                // rto = srtt + 4*rttvar = 500 + 4*250 = 1500ms
         assert_eq!(est.rto(), Duration::from_millis(1500));
     }
 
@@ -155,7 +155,11 @@ mod tests {
         for _ in 0..20 {
             est.sample(Duration::from_millis(2600));
         }
-        assert!(est.rto() >= Duration::from_millis(3000), "rto = {}", est.rto());
+        assert!(
+            est.rto() >= Duration::from_millis(3000),
+            "rto = {}",
+            est.rto()
+        );
     }
 
     #[test]

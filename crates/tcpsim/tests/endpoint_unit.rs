@@ -109,24 +109,16 @@ fn syn_timer_retries_and_eventually_fails() {
     let mut out = Vec::new();
     s.start(Time::ZERO, &mut out);
     let mut syns = 1;
-    let mut now = Time::ZERO;
     // Never answer; pump the timer until the endpoint gives up.
     for _ in 0..10 {
         let Some(t) = s.next_timer() else { break };
-        now = t;
         let mut out = Vec::new();
-        s.on_timer(now, &mut out);
-        syns += out
-            .iter()
-            .filter(|p| tcp_of(p).0.flags.syn())
-            .count();
+        s.on_timer(t, &mut out);
+        syns += out.iter().filter(|p| tcp_of(p).0.flags.syn()).count();
     }
     assert!(s.failed(), "connection attempt must give up");
     assert!(s.done());
-    assert!(
-        (4..=7).contains(&syns),
-        "bounded retries, got {syns} SYNs"
-    );
+    assert!((4..=7).contains(&syns), "bounded retries, got {syns} SYNs");
 }
 
 #[test]
@@ -270,7 +262,7 @@ fn source_quench_collapses_cwnd() {
     // Grow the window with a few acks.
     let mut una = iss + 1;
     for k in 0..3 {
-        una = una + 1460;
+        una += 1460;
         let mut ack = TcpRepr::new(2000, 1000);
         ack.flags = TcpFlags::ACK;
         ack.seq = SeqNum(7001);

@@ -225,7 +225,13 @@ fn fig4_linux_burst_retransmission_storm() {
     path.queue_cap = 8;
     path.one_way_delay = Duration::from_millis(60);
     path.loss_data = LossModel::Periodic(20);
-    let out = run_transfer(profiles::linux_1_0(), profiles::linux_1_0(), &path, KB100, 11);
+    let out = run_transfer(
+        profiles::linux_1_0(),
+        profiles::linux_1_0(),
+        &path,
+        KB100,
+        11,
+    );
     assert!(out.completed);
     let retx_frac =
         out.sender_stats.retransmissions as f64 / out.sender_stats.data_packets_sent as f64;
@@ -238,7 +244,13 @@ fn fig4_linux_burst_retransmission_storm() {
     );
 
     // Control: Linux 2.0 on the identical path repairs losses frugally.
-    let fixed = run_transfer(profiles::linux_2_0(), profiles::linux_2_0(), &path, KB100, 11);
+    let fixed = run_transfer(
+        profiles::linux_2_0(),
+        profiles::linux_2_0(),
+        &path,
+        KB100,
+        11,
+    );
     assert!(fixed.completed);
     let fixed_frac =
         fixed.sender_stats.retransmissions as f64 / fixed.sender_stats.data_packets_sent as f64;
@@ -424,8 +436,20 @@ fn corrupted_segment_is_discarded_and_repaired() {
 
 #[test]
 fn deterministic_given_seed() {
-    let a = run_transfer(profiles::reno(), profiles::reno(), &default_path(), KB100, 42);
-    let b = run_transfer(profiles::reno(), profiles::reno(), &default_path(), KB100, 42);
+    let a = run_transfer(
+        profiles::reno(),
+        profiles::reno(),
+        &default_path(),
+        KB100,
+        42,
+    );
+    let b = run_transfer(
+        profiles::reno(),
+        profiles::reno(),
+        &default_path(),
+        KB100,
+        42,
+    );
     let ta = a.sender_trace();
     let tb = b.sender_trace();
     assert_eq!(ta, tb, "identical seeds give identical traces");

@@ -1,3 +1,7 @@
+// PathSpec scenarios are configured field-by-field from the default so
+// each deviation reads as one labelled line.
+#![allow(clippy::field_reassign_with_default)]
+
 //! Zero-window probing: a slow-reading application closes the offered
 //! window; the sender's persist timer probes it; window updates reopen
 //! it; the transfer still completes exactly.
@@ -41,7 +45,13 @@ fn window_closes_and_probes_flow() {
     // ~11 s, i.e. beyond the 5 s initial persist delay).
     let mut receiver = slow_reader(512);
     receiver.recv_window = 4 * 1460;
-    let out = run_transfer(profiles::reno(), receiver, &PathSpec::default(), 16 * 1024, 52);
+    let out = run_transfer(
+        profiles::reno(),
+        receiver,
+        &PathSpec::default(),
+        16 * 1024,
+        52,
+    );
     assert!(out.completed);
     assert!(
         out.sender_stats.zero_window_probes > 0,

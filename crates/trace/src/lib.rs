@@ -18,17 +18,21 @@
 //! * [`plot`] — time/sequence-number plot extraction and ASCII rendering,
 //!   the reproduction's stand-in for the paper's sequence plots.
 //! * [`pcap_io`] — conversion between [`Trace`] and libpcap capture files.
+//! * [`source`] — corpus trace sources ([`TraceSource`]) feeding the
+//!   batch-analysis pipeline in `tcpanaly`.
 
 pub mod conn;
 pub mod connstats;
 pub mod pcap_io;
 pub mod plot;
 pub mod record;
+pub mod source;
 pub mod stats;
 pub mod time;
 
 pub use conn::{ConnKey, Connection, Dir, Endpoint};
 pub use connstats::ConnStats;
 pub use record::{Trace, TraceRecord};
+pub use source::{CorpusItem, MemorySource, TraceInput, TraceSource};
 pub use stats::{Histogram, Summary};
 pub use time::{Duration, Time};

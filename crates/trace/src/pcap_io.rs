@@ -26,7 +26,8 @@ pub fn frame_bytes(rec: &TraceRecord) -> Vec<u8> {
     }
 
     let mut tcp_bytes = Vec::new();
-    rec.tcp.emit(rec.ip.src, rec.ip.dst, &payload, &mut tcp_bytes);
+    rec.tcp
+        .emit(rec.ip.src, rec.ip.dst, &payload, &mut tcp_bytes);
     if rec.checksum_ok == Some(false) {
         // Flip a payload byte *after* the checksum was computed so the
         // frame is genuinely corrupt on the wire.

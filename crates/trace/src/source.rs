@@ -1,0 +1,183 @@
+//! Corpus trace sources — the supply side of batch analysis.
+//!
+//! The paper's catalogues were built from ~40,000 traces; anything at that
+//! scale needs a uniform way to enumerate work without loading every
+//! capture up front. A [`TraceSource`] hands out [`CorpusItem`]s one at a
+//! time; each item carries a stable label and a [`TraceInput`] that is
+//! *loaded by the worker that claims it*, so file I/O and pcap decoding
+//! parallelize along with the analysis itself.
+
+use crate::pcap_io;
+use crate::record::Trace;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+/// One unit of corpus work: a labelled, possibly not-yet-loaded trace.
+#[derive(Debug, Clone)]
+pub struct CorpusItem {
+    /// Stable label (file path or synthetic name) used in reports.
+    pub id: String,
+    /// Where the trace bytes come from.
+    pub input: TraceInput,
+}
+
+/// Where a corpus item's packets come from.
+#[derive(Debug, Clone)]
+pub enum TraceInput {
+    /// An already-loaded trace (simulated corpora, tests).
+    Memory(Trace),
+    /// A pcap file, opened and decoded by the worker that claims the item.
+    PcapFile(PathBuf),
+    /// Fault injection: panics on load. Exists so the pipeline's
+    /// panic-isolation guarantee (one poisoned trace must cost one item,
+    /// not the whole run) stays testable without a real analyzer bug.
+    Poison,
+}
+
+impl CorpusItem {
+    /// An item wrapping an in-memory trace.
+    pub fn memory(id: impl Into<String>, trace: Trace) -> CorpusItem {
+        CorpusItem {
+            id: id.into(),
+            input: TraceInput::Memory(trace),
+        }
+    }
+
+    /// An item naming a pcap file; the path doubles as the label.
+    pub fn pcap(path: impl Into<PathBuf>) -> CorpusItem {
+        let path = path.into();
+        CorpusItem {
+            id: path.display().to_string(),
+            input: TraceInput::PcapFile(path),
+        }
+    }
+
+    /// A poisoned item whose load panics (fault injection for tests).
+    pub fn poison(id: impl Into<String>) -> CorpusItem {
+        CorpusItem {
+            id: id.into(),
+            input: TraceInput::Poison,
+        }
+    }
+}
+
+impl TraceInput {
+    /// Materializes the trace, doing any file I/O and pcap decoding on the
+    /// calling thread. Errors are strings: the pipeline reports them
+    /// per-item rather than aborting the batch.
+    pub fn load(self) -> Result<Trace, String> {
+        match self {
+            TraceInput::Memory(trace) => Ok(trace),
+            TraceInput::PcapFile(path) => {
+                let file =
+                    std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+                pcap_io::read_pcap(std::io::BufReader::new(file))
+                    .map(|(trace, _skipped)| trace)
+                    .map_err(|e| format!("{}: {e:?}", path.display()))
+            }
+            TraceInput::Poison => panic!("poisoned corpus item loaded"),
+        }
+    }
+}
+
+/// A pull-based supply of corpus items.
+///
+/// Implementations must be `Send`: the batch pipeline moves the source
+/// behind a mutex shared by its workers. `next_item` should be cheap —
+/// return paths or handles and let [`TraceInput::load`] do the heavy
+/// lifting on the claiming worker.
+pub trait TraceSource: Send {
+    /// Total number of items, when known up front (sizes progress output).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// The next item, or `None` when the corpus is exhausted.
+    fn next_item(&mut self) -> Option<CorpusItem>;
+}
+
+/// A source over a pre-built list of items.
+#[derive(Debug, Default)]
+pub struct MemorySource {
+    items: VecDeque<CorpusItem>,
+}
+
+impl MemorySource {
+    /// A source yielding `items` in order.
+    pub fn new(items: Vec<CorpusItem>) -> MemorySource {
+        MemorySource {
+            items: items.into(),
+        }
+    }
+
+    /// A source over explicit pcap paths, in the order given.
+    pub fn from_pcap_files<P: Into<PathBuf>>(paths: Vec<P>) -> MemorySource {
+        MemorySource::new(paths.into_iter().map(CorpusItem::pcap).collect())
+    }
+
+    /// A source over every `*.pcap` in `dir` (non-recursive), sorted by
+    /// file name so corpus order — and therefore the merged report — is
+    /// independent of directory-listing order.
+    pub fn from_pcap_dir(dir: impl AsRef<Path>) -> std::io::Result<MemorySource> {
+        let dir = dir.as_ref();
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && p.extension().map(|e| e == "pcap").unwrap_or(false))
+            .collect();
+        paths.sort();
+        Ok(MemorySource::from_pcap_files(paths))
+    }
+}
+
+impl TraceSource for MemorySource {
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
+
+    fn next_item(&mut self) -> Option<CorpusItem> {
+        self.items.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_source_yields_in_order() {
+        let mut src = MemorySource::new(vec![
+            CorpusItem::memory("a", Trace::new()),
+            CorpusItem::memory("b", Trace::new()),
+        ]);
+        assert_eq!(src.len_hint(), Some(2));
+        assert_eq!(src.next_item().unwrap().id, "a");
+        assert_eq!(src.next_item().unwrap().id, "b");
+        assert!(src.next_item().is_none());
+    }
+
+    #[test]
+    fn missing_pcap_is_a_load_error_not_a_panic() {
+        let item = CorpusItem::pcap("/nonexistent/never.pcap");
+        assert!(item.input.load().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned corpus item")]
+    fn poison_panics_on_load() {
+        let _ = CorpusItem::poison("bad").input.load();
+    }
+
+    #[test]
+    fn dir_listing_is_sorted_and_filtered() {
+        let dir = std::env::temp_dir().join(format!("tcpa_src_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["b.pcap", "a.pcap", "notes.txt"] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let mut src = MemorySource::from_pcap_dir(&dir).unwrap();
+        assert_eq!(src.len_hint(), Some(2));
+        assert!(src.next_item().unwrap().id.ends_with("a.pcap"));
+        assert!(src.next_item().unwrap().id.ends_with("b.pcap"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,15 +9,15 @@ use tcpa_wire::{IpProtocol, Ipv4Addr, Ipv4Repr, SeqNum, TcpFlags, TcpRepr, TsRes
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
     (
-        0i64..10_000_000_000,  // ts nanos
-        0u8..4,                // src host
-        0u8..4,                // dst host
-        any::<u16>(),          // ident
-        any::<u32>(),          // seq
-        0u32..2048,            // payload
-        any::<u32>(),          // ack
-        any::<u16>(),          // window
-        0u8..32,               // flags (skip URG)
+        0i64..10_000_000_000, // ts nanos
+        0u8..4,               // src host
+        0u8..4,               // dst host
+        any::<u16>(),         // ident
+        any::<u32>(),         // seq
+        0u32..2048,           // payload
+        any::<u32>(),         // ack
+        any::<u16>(),         // window
+        0u8..32,              // flags (skip URG)
     )
         .prop_filter("src != dst", |(_, s, d, ..)| s != d)
         .prop_map(

@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn short_message_rejected() {
-        assert_eq!(IcmpRepr::parse(&[4, 0, 0]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            IcmpRepr::parse(&[4, 0, 0]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 
     #[test]

@@ -242,8 +242,10 @@ mod tests {
         let mut buf = Vec::new();
         {
             let mut w = PcapWriter::new(&mut buf, resolution, LINKTYPE_ETHERNET, 65535).unwrap();
-            w.write_record(1_500_000_123_456_789_000, 100, &[1, 2, 3]).unwrap();
-            w.write_record(1_500_000_124_000_000_500, 4, &[9, 9, 9, 9]).unwrap();
+            w.write_record(1_500_000_123_456_789_000, 100, &[1, 2, 3])
+                .unwrap();
+            w.write_record(1_500_000_124_000_000_500, 4, &[9, 9, 9, 9])
+                .unwrap();
             w.finish().unwrap();
         }
         let mut r = PcapReader::new(Cursor::new(buf)).unwrap();

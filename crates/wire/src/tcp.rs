@@ -283,7 +283,10 @@ impl TcpRepr {
                 segment[4], segment[5], segment[6], segment[7],
             ])),
             ack: SeqNum(u32::from_be_bytes([
-                segment[8], segment[9], segment[10], segment[11],
+                segment[8],
+                segment[9],
+                segment[10],
+                segment[11],
             ])),
             flags: TcpFlags(segment[13] & 0x3f),
             window: u16::from_be_bytes([segment[14], segment[15]]),
@@ -442,7 +445,10 @@ mod tests {
         let mut buf = Vec::new();
         repr.emit(src, dst, &[], &mut buf);
         let (parsed, _) = TcpRepr::parse(&buf).unwrap();
-        assert_eq!(parsed.options[0], TcpOption::Unknown(253, vec![1, 2, 3, 4, 5, 6]));
+        assert_eq!(
+            parsed.options[0],
+            TcpOption::Unknown(253, vec![1, 2, 3, 4, 5, 6])
+        );
     }
 
     #[test]
@@ -461,7 +467,7 @@ mod tests {
         repr.emit(src, dst, &[], &mut buf);
         buf[20] = 2; // MSS kind...
         buf[21] = 0; // ...with length 0
-        // restore checksum irrelevant; parse doesn't verify
+                     // restore checksum irrelevant; parse doesn't verify
         assert_eq!(TcpRepr::parse(&buf).unwrap_err(), WireError::BadLength);
     }
 }

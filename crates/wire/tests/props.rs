@@ -18,10 +18,8 @@ fn arb_tcp_option() -> impl Strategy<Value = TcpOption> {
         any::<u16>().prop_map(TcpOption::Mss),
         (0u8..15).prop_map(TcpOption::WindowScale),
         Just(TcpOption::SackPermitted),
-        (any::<u32>(), any::<u32>()).prop_map(|(tsval, tsecr)| TcpOption::Timestamps {
-            tsval,
-            tsecr
-        }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(tsval, tsecr)| TcpOption::Timestamps { tsval, tsecr }),
         proptest::collection::vec((any::<u32>(), any::<u32>()), 1..4).prop_map(|blocks| {
             TcpOption::Sack(
                 blocks

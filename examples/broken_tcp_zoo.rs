@@ -1,3 +1,7 @@
+// PathSpec scenarios are configured field-by-field from the default so
+// each deviation reads as one labelled line.
+#![allow(clippy::field_reassign_with_default)]
+
 //! The §8 zoo: run the paper's three devastating TCP pathologies side by
 //! side — the Net/3 uninitialized-cwnd burst, the Linux 1.0 retransmission
 //! storm, and the Solaris premature-RTO flood — each next to a well-behaved
@@ -37,7 +41,13 @@ fn main() {
     path.queue_cap = 16;
     show(
         "Net/3: 30-packet blast into a cold window (Figure 3)",
-        &run_transfer(profiles::net3(), no_mss_receiver.clone(), &path, 100 * 1024, 1),
+        &run_transfer(
+            profiles::net3(),
+            no_mss_receiver.clone(),
+            &path,
+            100 * 1024,
+            1,
+        ),
     );
     show(
         "control: generic Reno against the same receiver",
@@ -52,11 +62,23 @@ fn main() {
     path.loss_data = LossModel::Periodic(20);
     show(
         "Linux 1.0: retransmission storm (Figure 4)",
-        &run_transfer(profiles::linux_1_0(), profiles::linux_1_0(), &path, 100 * 1024, 2),
+        &run_transfer(
+            profiles::linux_1_0(),
+            profiles::linux_1_0(),
+            &path,
+            100 * 1024,
+            2,
+        ),
     );
     show(
         "control: Linux 2.0 on the same lossy path",
-        &run_transfer(profiles::linux_2_0(), profiles::linux_2_0(), &path, 100 * 1024, 2),
+        &run_transfer(
+            profiles::linux_2_0(),
+            profiles::linux_2_0(),
+            &path,
+            100 * 1024,
+            2,
+        ),
     );
 
     // §8.6 — Solaris premature RTO on a long path.
@@ -64,7 +86,13 @@ fn main() {
     path.one_way_delay = Duration::from_millis(335);
     show(
         "Solaris 2.4: needless retransmissions at 680 ms RTT (Figure 5)",
-        &run_transfer(profiles::solaris_2_4(), profiles::reno(), &path, 100 * 1024, 3),
+        &run_transfer(
+            profiles::solaris_2_4(),
+            profiles::reno(),
+            &path,
+            100 * 1024,
+            3,
+        ),
     );
     show(
         "control: Reno on the same long path",

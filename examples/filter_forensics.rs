@@ -1,3 +1,7 @@
+// PathSpec scenarios are configured field-by-field from the default so
+// each deviation reads as one labelled line.
+#![allow(clippy::field_reassign_with_default)]
+
 //! The §3 forensics tour: push one perfectly-recorded connection through
 //! each faulty packet-filter model and show what calibration finds.
 //!

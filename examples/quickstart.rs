@@ -29,7 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Round-trip through the on-disk format tcpdump uses.
     let path = std::env::temp_dir().join("tcpanaly_quickstart.pcap");
     let trace = out.sender_trace();
-    pcap_io::write_pcap(&trace, std::fs::File::create(&path)?, TsResolution::Micro, 0)?;
+    pcap_io::write_pcap(
+        &trace,
+        std::fs::File::create(&path)?,
+        TsResolution::Micro,
+        0,
+    )?;
     let (reread, skipped) = pcap_io::read_pcap(std::fs::File::open(&path)?)?;
     println!(
         "wrote and re-read {} ({} records, {} skipped)",
@@ -43,9 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = Analyzer::at_sender().analyze(&reread);
     println!("\n{}", report.render());
 
-    let best = report.connections[0]
-        .best_fit()
-        .unwrap_or("(no close fit)");
+    let best = report.connections[0].best_fit().unwrap_or("(no close fit)");
     println!("=> best-fitting implementation: {best}");
     Ok(())
 }

@@ -66,7 +66,11 @@ fn snap_length_pipeline_still_fingerprints() {
         .iter()
         .find(|r| r.name == "Linux 1.0")
         .expect("Linux 1.0 among candidates");
-    assert_eq!(lin.fit, FitClass::Close, "headers suffice for behavior analysis");
+    assert_eq!(
+        lin.fit,
+        FitClass::Close,
+        "headers suffice for behavior analysis"
+    );
 }
 
 #[test]
@@ -104,7 +108,10 @@ fn receiver_vantage_report_covers_ack_policy() {
     );
     let report = Analyzer::at_receiver().analyze(&out.receiver_trace());
     let conn = &report.connections[0];
-    assert!(conn.fingerprint.is_empty(), "no sender fingerprint from afar");
+    assert!(
+        conn.fingerprint.is_empty(),
+        "no sender fingerprint from afar"
+    );
     let rx = conn.receiver.as_ref().expect("receiver analysis");
     assert!(rx.count(tcpanaly::receiver::AckClass::Delayed) > 0);
     let rendered = report.render();

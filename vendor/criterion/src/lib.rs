@@ -1,0 +1,196 @@
+//! An offline, dependency-free stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking API this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be resolved. This crate keeps `cargo bench` working: it measures each
+//! benchmark with a short warm-up followed by a timed batch sized to a
+//! ~200 ms budget, and prints mean per-iteration time plus the declared
+//! throughput. No statistics, plots, or baselines — just honest numbers.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget control (whole-benchmark wall budget).
+const TARGET_SAMPLE: Duration = Duration::from_millis(200);
+
+/// An opaque value sink; re-exported for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many items per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration, for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { per_iter: None };
+        f(&mut bencher);
+        let per_iter = bencher
+            .per_iter
+            .expect("benchmark closure must call Bencher::iter or iter_batched");
+        let mut line = format!(
+            "{}/{:<28} time: {:>12} /iter",
+            self.name,
+            id,
+            fmt_duration(per_iter)
+        );
+        if let Some(tp) = self.throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!("   thrpt: {}", fmt_bytes_rate(n as f64 / secs)));
+                    }
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("   thrpt: {:.0} elem/s", n as f64 / secs));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (printing happened eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, amortized over a batch sized to ~200 ms.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and pilot measurement.
+        let pilot_start = Instant::now();
+        black_box(routine());
+        let pilot = pilot_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / pilot.as_nanos()).clamp(1, 1_000_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.per_iter = Some(start.elapsed() / iters);
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Pilot.
+        let input = setup();
+        let pilot_start = Instant::now();
+        black_box(routine(input));
+        let pilot = pilot_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / pilot.as_nanos()).clamp(1, 100_000) as u32;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.per_iter = Some(total / iters);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_bytes_rate(bytes_per_sec: f64) -> String {
+    if bytes_per_sec >= 1e9 {
+        format!("{:.2} GB/s", bytes_per_sec / 1e9)
+    } else if bytes_per_sec >= 1e6 {
+        format!("{:.2} MB/s", bytes_per_sec / 1e6)
+    } else {
+        format!("{:.1} KB/s", bytes_per_sec / 1e3)
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; this harness takes none.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,69 @@
+//! `any::<T>()` — the canonical whole-domain strategy for a type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical uniform generator.
+pub trait Arbitrary: Sized {
+    /// Draws one value covering the type's whole domain.
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut Rng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut Rng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut Rng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut Rng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}

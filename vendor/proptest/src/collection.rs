@@ -1,0 +1,55 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Acceptable length specifications for [`vec`].
+pub trait SizeRange {
+    /// Draws a length.
+    fn pick(&self, rng: &mut Rng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "empty vec length range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut Rng) -> usize {
+        assert!(self.start() <= self.end(), "empty vec length range");
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut Rng) -> usize {
+        *self
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Option<Vec<S::Value>> {
+        let len = self.size.pick(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Some(out)
+    }
+}

@@ -1,0 +1,28 @@
+//! An offline, dependency-free stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be resolved. This crate keeps the workspace's property-based tests
+//! compiling and *running* by reimplementing the pieces they touch:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter`, implemented
+//!   for integer and float ranges, tuples, [`Just`](strategy::Just) and
+//!   [`any`](arbitrary::any);
+//! * [`collection::vec`] and [`sample::Index`];
+//! * the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//!   and `prop_assume!` macros;
+//! * a deterministic [`TestRunner`](test_runner::TestRunner) (seeded per
+//!   test name; `PROPTEST_SEED` perturbs it, `PROPTEST_CASES` resizes it).
+//!
+//! Differences from the real crate: no shrinking (a failure reports the
+//! case seed instead of a minimized input), and no persistence of
+//! regression files. Generation quality is plain uniform sampling.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+mod macros;

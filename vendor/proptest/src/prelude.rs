@@ -1,0 +1,6 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::{any, Any, Arbitrary};
+pub use crate::strategy::{DynStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

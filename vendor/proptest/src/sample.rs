@@ -1,0 +1,24 @@
+//! Sampling helpers.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::Rng;
+
+/// An index into a collection whose length is only known at use time.
+/// Generate one with `any::<Index>()`, then project it with
+/// [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this abstract index into `0..len`. Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut Rng) -> Index {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,223 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// How many times a filtered strategy retries locally before giving up
+/// and rejecting the whole case.
+const FILTER_RETRIES: usize = 64;
+
+/// A recipe for generating values of one type.
+///
+/// `generate` returns `None` when the strategy could not produce a value
+/// (a `prop_filter` predicate kept failing); the runner treats that as a
+/// rejected case and retries with a fresh seed.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `keep`. `whence` labels the filter in
+    /// rejection diagnostics.
+    fn prop_filter<F>(self, whence: &'static str, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            keep,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut Rng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    keep: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+        for _ in 0..FILTER_RETRIES {
+            match self.inner.generate(rng) {
+                Some(v) if (self.keep)(&v) => return Some(v),
+                Some(_) | None => continue,
+            }
+        }
+        // Give up; the runner logs `whence` only implicitly (retry), but
+        // keeping the label makes rejection loops debuggable.
+        let _ = self.whence;
+        None
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Object-safe face of [`Strategy`], used by `prop_oneof!` to mix
+/// heterogeneous strategies yielding the same value type.
+pub trait DynStrategy<T> {
+    /// Draws one value.
+    fn generate_dyn(&self, rng: &mut Rng) -> Option<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut Rng) -> Option<S::Value> {
+        self.generate(rng)
+    }
+}
+
+/// A weighted choice between strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    variants: Vec<(u32, Box<dyn DynStrategy<T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union over `variants`; every weight must be nonzero.
+    pub fn new(variants: Vec<(u32, Box<dyn DynStrategy<T>>)>) -> Union<T> {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        let total = variants.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { variants, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> Option<T> {
+        let mut pick = rng.below(self.total);
+        for (weight, strategy) in &self.variants {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate_dyn(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> Option<$t> {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range used as a strategy");
+                let span = (hi - lo) as u128;
+                let offset = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                Some((lo + offset as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> Option<$t> {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range used as a strategy");
+                let span = (hi - lo) as u128 + 1;
+                let offset = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                Some((lo + offset as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range used as a strategy");
+        Some(self.start + rng.next_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut Rng) -> Option<f32> {
+        assert!(self.start < self.end, "empty range used as a strategy");
+        Some(self.start + (rng.next_f64() as f32) * (self.end - self.start))
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10, L 11)
+}

@@ -1,0 +1,142 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases (ignores `PROPTEST_CASES`).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The input was rejected (filter miss or `prop_assume!` failure);
+    /// the case is retried with fresh input and does not count.
+    Reject(String),
+    /// The property is false for this input.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// SplitMix64 — small, fast, and plenty for test-input generation.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one property `config.cases` times with deterministic seeds.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner for the named property.
+    pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+        TestRunner { config, name }
+    }
+
+    /// Drives the property. Panics on the first failing case, reporting
+    /// the case seed so the run can be reproduced.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut Rng) -> Result<(), TestCaseError>,
+    {
+        let perturb = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0u64);
+        let base = fnv1a(self.name.as_bytes()) ^ perturb;
+        let max_rejects = 4096 + u64::from(self.config.cases) * 16;
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let mut attempt = 0u64;
+        while passed < self.config.cases {
+            let seed = base.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            attempt += 1;
+            let mut rng = Rng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest: property {} rejected {} inputs before reaching {} cases; \
+                             strategy filters are too strict",
+                            self.name, rejected, self.config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: property {} failed at case {} (seed {seed:#018x}, \
+                         set PROPTEST_SEED to vary inputs):\n{msg}",
+                        self.name, passed
+                    );
+                }
+            }
+        }
+    }
+}
