@@ -55,6 +55,7 @@ fn timed_run(items: Vec<CorpusItem>, jobs: usize) -> (CorpusReport, f64) {
     let config = CorpusConfig {
         jobs,
         vantage: Vantage::Sender,
+        ..CorpusConfig::default()
     };
     let start = Instant::now();
     let report = analyze_corpus(MemorySource::new(items), &config);

@@ -7,6 +7,7 @@ pub mod corpus;
 pub mod figures;
 pub mod fingerprints;
 pub mod policy;
+pub mod robustness;
 pub mod table1;
 pub mod variants;
 
@@ -32,5 +33,6 @@ pub fn all() -> Vec<Section> {
         conformance::run(),
         ablation::run(),
         corpus::run(),
+        robustness::run(),
     ]
 }

@@ -1,0 +1,194 @@
+//! Robustness — salvage-mode batch analysis of a deliberately damaged
+//! corpus.
+//!
+//! §3 of the paper is blunt about real measurement data: traces arrive
+//! truncated, resequenced and corrupted, and an unattended analyzer must
+//! degrade gracefully rather than die. This scenario simulates a corpus,
+//! injects the file-level fault taxonomy (`tcpa_trace::mangle`) into a
+//! seeded fraction of the captures, and batch-analyzes the result under
+//! `DegradePolicy::Salvage`. The contracts checked:
+//!
+//! * **zero panics** — no fault kind may crash a worker;
+//! * **full accounting** — every item is analyzed, salvaged or carries a
+//!   typed failure, and every damaged capture's skipped bytes are tallied;
+//! * **determinism** — the merged census is byte-identical for any worker
+//!   count, damaged corpus or not;
+//! * **strict mode** — the same corpus under `DegradePolicy::Strict`
+//!   aborts instead of degrading.
+
+use crate::{Section, TextTable};
+use tcpa_netsim::rng::SplitMix64;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles::all_profiles;
+use tcpa_trace::mangle::{mangle, FaultKind, MangleSpec};
+use tcpa_trace::{pcap_io, CorpusItem, Duration, MemorySource};
+use tcpa_wire::TsResolution;
+use tcpanaly::calibrate::Vantage;
+use tcpanaly::corpus::{analyze_corpus, CorpusConfig, DegradePolicy};
+
+/// Corpus size for the full `repro_all` run.
+pub const CORPUS_SIZE: usize = 1000;
+
+/// Fraction of the corpus that gets mangled (≥ the 10% acceptance floor).
+const FAULT_NUMERATOR: usize = 1;
+const FAULT_DENOMINATOR: usize = 5;
+
+/// Simulates `n` traces, writes each to pcap bytes, and mangles every
+/// fifth one with 1–2 seeded faults cycling through the full taxonomy.
+fn damaged_corpus(n: usize) -> (Vec<CorpusItem>, usize) {
+    let profiles = all_profiles();
+    let mut rng = SplitMix64::new(0xfa17_c0de);
+    let mut items = Vec::with_capacity(n);
+    let mut damaged = 0;
+    for i in 0..n {
+        let cfg = profiles[i % profiles.len()].clone();
+        let path = PathSpec {
+            one_way_delay: Duration::from_millis(10 + 20 * (i as i64 % 4)),
+            ..PathSpec::default()
+        };
+        let out = run_transfer(
+            cfg.clone(),
+            tcpa_tcpsim::profiles::reno(),
+            &path,
+            12 * 1024,
+            0xbad5eed + i as u64,
+        );
+        let bytes = pcap_io::write_pcap(&out.sender_trace(), Vec::new(), TsResolution::Micro, 0)
+            .expect("write capture");
+        let (bytes, label) = if i % FAULT_DENOMINATOR < FAULT_NUMERATOR {
+            let spec = MangleSpec {
+                seed: rng.next_u64(),
+                faults: 1 + (i / FAULT_DENOMINATOR) % 2,
+                kinds: FaultKind::ALL.to_vec(),
+            };
+            let (mangled, faults) = mangle(&bytes, &spec);
+            if !faults.is_empty() {
+                damaged += 1;
+            }
+            (mangled, format!("dmg/{i:04}-{}", cfg.name))
+        } else {
+            (bytes, format!("ok/{i:04}-{}", cfg.name))
+        };
+        items.push(CorpusItem::pcap_bytes(label, bytes));
+    }
+    (items, damaged)
+}
+
+fn config(jobs: usize, degrade: DegradePolicy) -> CorpusConfig {
+    CorpusConfig {
+        jobs,
+        vantage: Vantage::Sender,
+        degrade,
+        ..CorpusConfig::default()
+    }
+}
+
+/// Runs the scenario on an `n`-trace corpus (tests use a small `n`; the
+/// `repro_all` entry point uses [`CORPUS_SIZE`]).
+pub fn run_with(n: usize) -> Section {
+    let (items, damaged) = damaged_corpus(n);
+    // Floor of 4 so the determinism check is meaningful on small hosts.
+    let jobs = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .max(4);
+
+    // Salvage policy: serial vs parallel, must agree byte-for-byte.
+    let serial = analyze_corpus(
+        MemorySource::new(items.clone()),
+        &config(1, DegradePolicy::Salvage),
+    );
+    let parallel = analyze_corpus(
+        MemorySource::new(items.clone()),
+        &config(jobs, DegradePolicy::Salvage),
+    );
+    let identical = serial.render() == parallel.render();
+    let c = &parallel.census;
+    let accounted = c.analyzed + c.salvaged + c.failed() == n;
+
+    // Strict policy on the same damaged corpus must abort.
+    let strict = analyze_corpus(
+        MemorySource::new(items),
+        &config(jobs, DegradePolicy::Strict),
+    );
+
+    let mut table = TextTable::new(&["metric", "value"]);
+    table.row(vec!["corpus size".into(), n.to_string()]);
+    table.row(vec!["captures mangled".into(), damaged.to_string()]);
+    table.row(vec!["salvaged".into(), c.salvaged.to_string()]);
+    table.row(vec!["analyzed clean".into(), c.analyzed.to_string()]);
+    table.row(vec!["failed".into(), c.failed().to_string()]);
+    table.row(vec!["panics".into(), c.panics.to_string()]);
+    table.row(vec!["damaged regions".into(), c.damage_regions.to_string()]);
+    table.row(vec!["bytes skipped".into(), c.bytes_skipped.to_string()]);
+    let mut body = table.render();
+    body.push('\n');
+    body.push_str(&parallel.render());
+
+    let ok = identical && accounted && c.panics == 0 && c.salvaged > 0 && strict.aborted;
+    Section {
+        id: "Robustness".into(),
+        title: "salvage-mode batch analysis of a damaged corpus".into(),
+        paper_claim: "real measurement data is imperfect (§3): traces arrive \
+                      truncated and corrupted, and tcpanaly had to analyze \
+                      them anyway, accounting for every measurement error it \
+                      could not remove."
+            .into(),
+        params: format!(
+            "{n} simulated traces, {damaged} mangled with the §3 file-level \
+             fault taxonomy (seeded), analyzed with --degrade=salvage on 1 \
+             and {jobs} workers, then with --degrade=strict"
+        ),
+        body,
+        measured: vec![
+            ("panics".into(), c.panics.to_string()),
+            ("salvaged traces".into(), c.salvaged.to_string()),
+            (
+                "census byte-identical (1 vs N workers)".into(),
+                identical.to_string(),
+            ),
+            ("every item accounted".into(), accounted.to_string()),
+            ("strict mode aborted".into(), strict.aborted.to_string()),
+        ],
+        verdict: if ok {
+            format!(
+                "REPRODUCED: {} of {n} damaged captures salvaged with zero \
+                 panics, deterministic census, full damage accounting; \
+                 strict mode aborts as specified.",
+                c.salvaged
+            )
+        } else if c.panics > 0 {
+            format!("FAILED: {} worker panics on damaged captures", c.panics)
+        } else if !identical {
+            "FAILED: salvage census depends on worker count".into()
+        } else if !strict.aborted {
+            "FAILED: strict policy did not abort on a damaged corpus".into()
+        } else {
+            format!(
+                "PARTIAL: accounting incomplete ({} + {} + {} != {n})",
+                c.analyzed,
+                c.salvaged,
+                c.failed()
+            )
+        },
+    }
+}
+
+/// The `repro_all` entry point at full corpus size.
+pub fn run() -> Section {
+    run_with(CORPUS_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn robustness_scenario_reproduces_small() {
+        let s = super::run_with(50);
+        assert!(
+            s.verdict.starts_with("REPRODUCED"),
+            "{}\n{}",
+            s.verdict,
+            s.body
+        );
+    }
+}

@@ -15,6 +15,10 @@
 //! file or a directory of them, the corpus is analyzed on `N` worker
 //! threads (`0` = one per CPU), and a single merged census is printed.
 //! Batch output is byte-identical for any `N`.
+//!
+//! `--degrade MODE` decides what a damaged capture does to the run:
+//! `skip` (default) reports it as a failed item, `salvage` recovers what
+//! it can and accounts the damage, `strict` aborts with exit code 3.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -22,7 +26,7 @@ use tcpa_tcpsim::profiles::{all_profiles, profile_by_name};
 use tcpa_trace::pcap_io;
 use tcpa_trace::Connection;
 use tcpa_trace::MemorySource;
-use tcpanaly::corpus::{analyze_corpus, CorpusConfig, ItemOutcome};
+use tcpanaly::corpus::{analyze_corpus, CorpusConfig, DegradePolicy};
 use tcpanaly::fingerprint::{fingerprint_one, fingerprint_receiver};
 use tcpanaly::handshake::analyze_handshake;
 use tcpanaly::Analyzer;
@@ -33,6 +37,8 @@ struct Options {
     handshake: bool,
     receiver_fp: bool,
     jobs: Option<usize>,
+    degrade: DegradePolicy,
+    timeout_secs: Option<u64>,
     files: Vec<String>,
 }
 
@@ -55,6 +61,13 @@ options:
   --jobs N                batch mode: analyze a corpus of pcaps (or directories
                           of pcaps) on N worker threads (0 = one per CPU) and
                           print one merged census
+  --degrade MODE          damaged-capture policy: skip (default) reports the
+                          item as failed, salvage recovers readable records and
+                          accounts the damage, strict aborts the run
+  --timeout-secs N        per-trace analysis watchdog (batch mode); overruns
+                          are reported as timed-out items
+
+exit codes: 0 success, 1 failed items, 2 usage error, 3 strict-mode abort
 ";
 
 fn parse_args() -> Result<Options, String> {
@@ -64,6 +77,8 @@ fn parse_args() -> Result<Options, String> {
         handshake: false,
         receiver_fp: false,
         jobs: None,
+        degrade: DegradePolicy::default(),
+        timeout_secs: None,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -82,6 +97,17 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| format!("--jobs: invalid count {n:?}"))?;
                 opts.jobs = Some(n);
             }
+            "--degrade" => {
+                let mode = args.next().ok_or("--degrade requires a mode")?;
+                opts.degrade = mode.parse()?;
+            }
+            "--timeout-secs" => {
+                let n = args.next().ok_or("--timeout-secs requires a count")?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--timeout-secs: invalid count {n:?}"))?;
+                opts.timeout_secs = Some(n);
+            }
             "--handshake" => opts.handshake = true,
             "--receiver-fingerprint" => opts.receiver_fp = true,
             "--list-impls" => {
@@ -93,6 +119,16 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
+            }
+            other if other.starts_with("--degrade=") => {
+                opts.degrade = other["--degrade=".len()..].parse()?;
+            }
+            other if other.starts_with("--timeout-secs=") => {
+                let n = &other["--timeout-secs=".len()..];
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--timeout-secs: invalid count {n:?}"))?;
+                opts.timeout_secs = Some(n);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other}"));
@@ -138,7 +174,8 @@ fn expand_corpus_args(args: &[String]) -> Result<Vec<PathBuf>, String> {
 }
 
 /// Batch mode: analyze the whole corpus in parallel, print one census.
-/// Exit code 0 when every item analyzed, 1 when any failed.
+/// Exit code 0 when every item analyzed (possibly salvaged), 1 when any
+/// failed, 3 when a strict-policy run aborted on a malformed capture.
 fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
     let paths = match expand_corpus_args(&opts.files) {
         Ok(p) => p,
@@ -154,6 +191,9 @@ fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
             Vantage::Receiver => tcpanaly::calibrate::Vantage::Receiver,
             Vantage::Unknown => tcpanaly::calibrate::Vantage::Unknown,
         },
+        degrade: opts.degrade,
+        timeout: opts.timeout_secs.map(std::time::Duration::from_secs),
+        ..CorpusConfig::default()
     };
     // A panicking trace is reported in the census as a failed item; keep
     // the default hook from interleaving backtrace noise with the report.
@@ -162,25 +202,68 @@ fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
     let report = analyze_corpus(MemorySource::from_pcap_files(paths), &config);
     std::panic::set_hook(prior_hook);
     print!("{}", report.render());
-    let failed = report
-        .items
-        .iter()
-        .any(|r| !matches!(r.outcome, ItemOutcome::Analyzed(_)));
-    if failed {
+    if report.aborted {
+        if let Some(first) = report.first_failure() {
+            eprintln!(
+                "tcpanaly: strict mode aborted on {}: {}",
+                first.id,
+                match &first.outcome {
+                    tcpanaly::corpus::ItemOutcome::Failed(e) => e.to_string(),
+                    _ => String::new(),
+                }
+            );
+        }
+        return ExitCode::from(3);
+    }
+    if report.census.failed() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
 }
 
-fn analyze_file(path: &str, opts: &Options) -> Result<(), String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let (trace, skipped) =
-        pcap_io::read_pcap(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
-    println!(
-        "== {path}: {} records ({skipped} non-TCP skipped)",
-        trace.len()
-    );
+/// Why a single-file analysis failed; `malformed` drives the strict-mode
+/// abort in `main`.
+struct FileFailure {
+    message: String,
+    malformed: bool,
+}
+
+fn analyze_file(path: &str, opts: &Options) -> Result<(), FileFailure> {
+    let bytes = std::fs::read(path).map_err(|e| FileFailure {
+        message: format!("{path}: {e}"),
+        malformed: false,
+    })?;
+    let trace = match opts.degrade {
+        DegradePolicy::Salvage => {
+            let (trace, report) = pcap_io::read_pcap_salvage_bytes(&bytes);
+            println!("== {path}: {report}");
+            trace
+        }
+        DegradePolicy::Strict | DegradePolicy::Skip => {
+            match pcap_io::read_pcap(std::io::Cursor::new(bytes.as_slice())) {
+                Ok((trace, skipped)) => {
+                    println!(
+                        "== {path}: {} records ({skipped} non-TCP skipped)",
+                        trace.len()
+                    );
+                    trace
+                }
+                Err(tcpa_wire::pcap::PcapError::Io(e)) => {
+                    return Err(FileFailure {
+                        message: format!("{path}: {e}"),
+                        malformed: false,
+                    })
+                }
+                Err(e) => {
+                    return Err(FileFailure {
+                        message: format!("{path}: {e}"),
+                        malformed: true,
+                    })
+                }
+            }
+        }
+    };
 
     let analyzer = match opts.vantage {
         Vantage::Sender => Analyzer::at_sender(),
@@ -196,8 +279,10 @@ fn analyze_file(path: &str, opts: &Options) -> Result<(), String> {
     };
 
     if let Some(name) = &opts.implementation {
-        let cfg = profile_by_name(name)
-            .ok_or_else(|| format!("unknown implementation {name:?}; try --list-impls"))?;
+        let cfg = profile_by_name(name).ok_or_else(|| FileFailure {
+            message: format!("unknown implementation {name:?}; try --list-impls"),
+            malformed: false,
+        })?;
         let (clean, cal) = tcpanaly::Calibrator::new().calibrate(&trace);
         if !cal.is_clean() {
             println!(
@@ -291,7 +376,11 @@ fn main() -> ExitCode {
     let mut failed = false;
     for file in &opts.files {
         if let Err(e) = analyze_file(file, &opts) {
-            eprintln!("tcpanaly: {e}");
+            eprintln!("tcpanaly: {}", e.message);
+            if e.malformed && opts.degrade == DegradePolicy::Strict {
+                eprintln!("tcpanaly: strict mode aborted on {file}");
+                return ExitCode::from(3);
+            }
             failed = true;
         }
     }

@@ -12,14 +12,24 @@
 //! * **Determinism** — results are merged in input order, so the census
 //!   (and its rendering) is byte-identical whatever the worker count or
 //!   completion order.
-//! * **Panic isolation** — a trace that panics the analyzer costs exactly
-//!   one failed item, never the pipeline; the panic message is captured
-//!   into that item's report.
+//! * **Fault isolation** — one bad trace costs exactly one item, never
+//!   the pipeline. Failures carry a typed [`AnalysisError`] (I/O,
+//!   malformed bytes, timeout, panic) so the census can say *why*, and a
+//!   [`DegradePolicy`] decides whether damaged captures abort the run
+//!   ([`DegradePolicy::Strict`]), are skipped as failed items
+//!   ([`DegradePolicy::Skip`]), or are salvage-read with the recovered
+//!   records analyzed and the damage accounted
+//!   ([`DegradePolicy::Salvage`]).
+//! * **Bounded patience** — transient I/O errors are retried with
+//!   backoff; a per-item wall-clock watchdog (when configured) converts a
+//!   wedged analysis into a [`AnalysisError::Timeout`] failure.
 //! * **Worker reuse** — each worker keeps one [`Analyzer`] (and its
 //!   vantage) for its whole life; per-trace setup is just the trace load.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread;
@@ -27,8 +37,59 @@ use std::thread;
 use crate::calibrate::Vantage;
 use crate::fingerprint::FitClass;
 use crate::report::{AnalysisReport, Analyzer};
-use tcpa_trace::source::{CorpusItem, TraceInput, TraceSource};
+use tcpa_trace::pcap_io::IngestReport;
+use tcpa_trace::source::{CorpusItem, LoadError, LoadMode, Loaded, TraceInput, TraceSource};
 use tcpa_trace::{Duration, Summary, Trace};
+
+/// What to do with a damaged (malformed but partially recoverable)
+/// capture. Clean traces behave identically under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Abort the whole run on the first malformed capture (distinct exit
+    /// code in the CLI). For pipelines where damage means the corpus
+    /// itself is suspect.
+    Strict,
+    /// Salvage-read damaged captures: skip damaged byte regions, analyze
+    /// the recovered records, and account for the degradation in the
+    /// census. For unattended runs over imperfect data (§3).
+    Salvage,
+    /// Report damaged captures as failed items and keep going (the
+    /// historical behavior).
+    #[default]
+    Skip,
+}
+
+impl DegradePolicy {
+    /// Stable lowercase name (CLI flag values).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradePolicy::Strict => "strict",
+            DegradePolicy::Salvage => "salvage",
+            DegradePolicy::Skip => "skip",
+        }
+    }
+}
+
+impl core::fmt::Display for DegradePolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DegradePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<DegradePolicy, String> {
+        match s {
+            "strict" => Ok(DegradePolicy::Strict),
+            "salvage" => Ok(DegradePolicy::Salvage),
+            "skip" => Ok(DegradePolicy::Skip),
+            other => Err(format!(
+                "unknown degradation mode {other:?} (expected strict, salvage or skip)"
+            )),
+        }
+    }
+}
 
 /// Batch-pipeline configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +99,20 @@ pub struct CorpusConfig {
     /// Vantage assumed for every trace. [`Vantage::Unknown`] auto-detects
     /// per trace (§3.2), like the CLI's default single-trace mode.
     pub vantage: Vantage,
+    /// How damaged captures are treated.
+    pub degrade: DegradePolicy,
+    /// Per-item wall-clock budget for the analysis step. `None` (the
+    /// default) runs inline with no watchdog; `Some(d)` runs each
+    /// analysis on a watchdog thread and converts overruns into
+    /// [`AnalysisError::Timeout`]. A timed-out analysis thread is
+    /// detached, not killed — the item is reported and the run moves on.
+    pub timeout: Option<std::time::Duration>,
+    /// Retries for *transient* I/O errors (interrupted, would-block,
+    /// timed out) when loading a trace. Non-transient errors (not found,
+    /// permission denied) never retry.
+    pub io_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub retry_backoff: std::time::Duration,
 }
 
 impl Default for CorpusConfig {
@@ -45,6 +120,10 @@ impl Default for CorpusConfig {
         CorpusConfig {
             jobs: 0,
             vantage: Vantage::Unknown,
+            degrade: DegradePolicy::default(),
+            timeout: None,
+            io_retries: 2,
+            retry_backoff: std::time::Duration::from_millis(20),
         }
     }
 }
@@ -62,15 +141,83 @@ impl CorpusConfig {
     }
 }
 
+/// Why one corpus item produced no (full) analysis — the typed failure
+/// taxonomy the census aggregates and the CLI renders per item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The trace bytes could not be read at all (after retries).
+    Io {
+        /// Description including the path and OS error.
+        detail: String,
+    },
+    /// The capture is malformed and salvage would recover nothing.
+    Malformed {
+        /// Description including the path and byte offset of the damage.
+        detail: String,
+    },
+    /// The capture is damaged but salvageable; the policy
+    /// ([`DegradePolicy::Strict`]/[`DegradePolicy::Skip`]) refused to
+    /// degrade. The report says what a salvage run would recover.
+    Salvaged {
+        /// The ingest ledger a salvage read produced.
+        report: IngestReport,
+    },
+    /// Analysis exceeded the configured per-item wall-clock budget.
+    Timeout {
+        /// The budget that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The analyzer panicked on this trace.
+    Panicked {
+        /// The panic payload message.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AnalysisError::Io { detail } => write!(f, "i/o error: {detail}"),
+            AnalysisError::Malformed { detail } => write!(f, "malformed capture: {detail}"),
+            AnalysisError::Salvaged { report } => write!(
+                f,
+                "damaged capture ({report}); rerun with --degrade=salvage to recover"
+            ),
+            AnalysisError::Timeout { limit_ms } => {
+                write!(f, "analysis timed out after {limit_ms} ms")
+            }
+            AnalysisError::Panicked { message } => write!(f, "analyzer panic: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
 /// What happened to one corpus item.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ItemOutcome {
-    /// Analyzed successfully; the distilled conclusions.
+    /// Analyzed successfully from an undamaged trace.
     Analyzed(ItemSummary),
-    /// The trace could not be loaded or decoded.
-    LoadError(String),
-    /// The analyzer panicked on this trace; the payload message.
-    Panicked(String),
+    /// The capture was damaged; the salvaged records were analyzed and
+    /// the degradation is accounted in `report`.
+    Salvaged {
+        /// Conclusions from the recovered records.
+        summary: ItemSummary,
+        /// The ingest ledger: bytes skipped, damage classes, offsets.
+        report: IngestReport,
+    },
+    /// No analysis was produced.
+    Failed(AnalysisError),
+}
+
+impl ItemOutcome {
+    /// `true` when the item produced an analysis (possibly degraded).
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            ItemOutcome::Analyzed(_) | ItemOutcome::Salvaged { .. }
+        )
+    }
 }
 
 /// Per-item result, in input order.
@@ -143,15 +290,25 @@ fn distill(report: &AnalysisReport, records: usize) -> ItemSummary {
 pub struct Census {
     /// Items fed in.
     pub items_total: usize,
-    /// Items analyzed successfully.
+    /// Items analyzed successfully from undamaged traces.
     pub analyzed: usize,
-    /// Items whose trace failed to load/decode.
-    pub load_errors: usize,
+    /// Items analyzed from salvaged (damaged) captures.
+    pub salvaged: usize,
+    /// Items whose bytes could not be read (after retries).
+    pub io_errors: usize,
+    /// Items with malformed or policy-refused damaged captures.
+    pub malformed: usize,
+    /// Items whose analysis exceeded the wall-clock budget.
+    pub timeouts: usize,
     /// Items that panicked the analyzer.
     pub panics: usize,
-    /// Connections across all analyzed traces.
+    /// Bytes skipped as damaged across all salvaged items.
+    pub bytes_skipped: u64,
+    /// Damaged regions across all salvaged items.
+    pub damage_regions: usize,
+    /// Connections across all successfully analyzed traces.
     pub connections: usize,
-    /// Packets across all analyzed traces.
+    /// Packets across all successfully analyzed traces.
     pub records: u64,
     /// Close best-fit counts per implementation name (Table 1's census).
     pub best_fit: BTreeMap<String, usize>,
@@ -176,8 +333,13 @@ impl Census {
         Census {
             items_total: 0,
             analyzed: 0,
-            load_errors: 0,
+            salvaged: 0,
+            io_errors: 0,
+            malformed: 0,
+            timeouts: 0,
             panics: 0,
+            bytes_skipped: 0,
+            damage_regions: 0,
             connections: 0,
             records: 0,
             best_fit: BTreeMap::new(),
@@ -191,52 +353,78 @@ impl Census {
         }
     }
 
+    fn absorb_summary(&mut self, s: &ItemSummary) {
+        self.connections += s.connections;
+        self.records += s.records as u64;
+        for fit in &s.best_fits {
+            match fit {
+                Some(name) => *self.best_fit.entry(name.clone()).or_insert(0) += 1,
+                None => self.unidentified += 1,
+            }
+        }
+        self.duplicates += s.duplicates;
+        self.time_travel += s.time_travel;
+        self.resequencing += s.resequencing;
+        self.drop_evidence += s.drop_evidence;
+        if s.has_calibration_errors() {
+            self.traces_with_calibration_errors += 1;
+        }
+        for &d in &s.response_delays {
+            self.response_delays.add(d);
+        }
+    }
+
     fn absorb(&mut self, report: &ItemReport) {
         self.items_total += 1;
         match &report.outcome {
-            ItemOutcome::LoadError(_) => self.load_errors += 1,
-            ItemOutcome::Panicked(_) => self.panics += 1,
             ItemOutcome::Analyzed(s) => {
                 self.analyzed += 1;
-                self.connections += s.connections;
-                self.records += s.records as u64;
-                for fit in &s.best_fits {
-                    match fit {
-                        Some(name) => *self.best_fit.entry(name.clone()).or_insert(0) += 1,
-                        None => self.unidentified += 1,
-                    }
-                }
-                self.duplicates += s.duplicates;
-                self.time_travel += s.time_travel;
-                self.resequencing += s.resequencing;
-                self.drop_evidence += s.drop_evidence;
-                if s.has_calibration_errors() {
-                    self.traces_with_calibration_errors += 1;
-                }
-                for &d in &s.response_delays {
-                    self.response_delays.add(d);
-                }
+                self.absorb_summary(s);
             }
+            ItemOutcome::Salvaged { summary, report } => {
+                self.salvaged += 1;
+                self.bytes_skipped += report.bytes_skipped;
+                self.damage_regions += report.damage.len();
+                self.absorb_summary(summary);
+            }
+            ItemOutcome::Failed(e) => match e {
+                AnalysisError::Io { .. } => self.io_errors += 1,
+                AnalysisError::Malformed { .. } | AnalysisError::Salvaged { .. } => {
+                    self.malformed += 1
+                }
+                AnalysisError::Timeout { .. } => self.timeouts += 1,
+                AnalysisError::Panicked { .. } => self.panics += 1,
+            },
         }
     }
 
     /// Items that did not produce an analysis.
     pub fn failed(&self) -> usize {
-        self.load_errors + self.panics
+        self.io_errors + self.malformed + self.timeouts + self.panics
     }
 }
 
 /// Everything a corpus run yields: ordered per-item reports + the census.
 #[derive(Debug, Clone)]
 pub struct CorpusReport {
-    /// One entry per input item, ordered by input index regardless of
-    /// which worker finished when.
+    /// One entry per input item that was processed, ordered by input
+    /// index regardless of which worker finished when. Under
+    /// [`DegradePolicy::Strict`] an abort leaves later items unprocessed.
     pub items: Vec<ItemReport>,
     /// The merged census.
     pub census: Census,
+    /// `true` when a strict-policy run aborted on a malformed capture
+    /// before draining the source.
+    pub aborted: bool,
 }
 
 impl CorpusReport {
+    /// The lowest-index failed item, if any (under strict policy, the
+    /// malformed capture that stopped the run).
+    pub fn first_failure(&self) -> Option<&ItemReport> {
+        self.items.iter().find(|r| !r.outcome.is_success())
+    }
+
     /// Renders the Table-1-style census plus a failure list. Deterministic:
     /// identical corpora yield byte-identical output whatever `jobs` was.
     pub fn render(&self) -> String {
@@ -245,9 +433,15 @@ impl CorpusReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "== Corpus census: {} traces ({} analyzed, {} load errors, {} panics) ==",
-            c.items_total, c.analyzed, c.load_errors, c.panics
+            "== Corpus census: {} traces ({} analyzed, {} salvaged, {} failed) ==",
+            c.items_total,
+            c.analyzed,
+            c.salvaged,
+            c.failed()
         );
+        if self.aborted {
+            let _ = writeln!(out, "  RUN ABORTED (strict mode, malformed capture)");
+        }
         let _ = writeln!(
             out,
             "  connections: {}   packets: {}",
@@ -259,14 +453,30 @@ impl CorpusReport {
             c.duplicates, c.time_travel, c.resequencing, c.drop_evidence,
             c.traces_with_calibration_errors
         );
+        if c.salvaged > 0 {
+            let _ = writeln!(
+                out,
+                "  salvage: {} traces degraded, {} damaged regions, {} bytes skipped",
+                c.salvaged, c.damage_regions, c.bytes_skipped
+            );
+        }
+        if c.failed() > 0 {
+            let _ = writeln!(
+                out,
+                "  failures: {} i/o, {} malformed, {} timeout, {} panic",
+                c.io_errors, c.malformed, c.timeouts, c.panics
+            );
+        }
         let mut delays = c.response_delays.clone();
-        if !delays.is_empty() {
+        if let (Some(p50), Some(p90), Some(max)) =
+            (delays.median(), delays.percentile(90.0), delays.max())
+        {
             let _ = writeln!(
                 out,
                 "  best-fit response delays: p50 {} p90 {} max {} ({} samples)",
-                delays.median().unwrap(),
-                delays.percentile(90.0).unwrap(),
-                delays.max().unwrap(),
+                p50,
+                p90,
+                max,
                 delays.count()
             );
         }
@@ -281,15 +491,14 @@ impl CorpusReport {
         let failures: Vec<&ItemReport> = self
             .items
             .iter()
-            .filter(|r| !matches!(r.outcome, ItemOutcome::Analyzed(_)))
+            .filter(|r| !r.outcome.is_success())
             .collect();
         if !failures.is_empty() {
             let _ = writeln!(out, "  failed items:");
             for r in failures {
                 let what = match &r.outcome {
-                    ItemOutcome::LoadError(e) => format!("load error: {e}"),
-                    ItemOutcome::Panicked(p) => format!("analyzer panic: {p}"),
-                    ItemOutcome::Analyzed(_) => unreachable!(),
+                    ItemOutcome::Failed(e) => e.to_string(),
+                    _ => unreachable!("filtered to failures"),
                 };
                 let _ = writeln!(out, "    [{:>4}] {}: {}", r.index, r.id, what);
             }
@@ -318,6 +527,117 @@ fn analyze_one(fixed: Option<&Analyzer>, trace: &Trace) -> ItemSummary {
     distill(&report, trace.len())
 }
 
+/// Loads one input under the policy's load mode, retrying transient I/O
+/// errors with exponential backoff. A malformed capture under a
+/// non-salvage policy is probed with a salvage read so the error can say
+/// what degradation would have recovered.
+fn load_item(config: &CorpusConfig, input: &TraceInput) -> Result<Loaded, AnalysisError> {
+    let mode = match config.degrade {
+        DegradePolicy::Salvage => LoadMode::Salvage,
+        DegradePolicy::Strict | DegradePolicy::Skip => LoadMode::Strict,
+    };
+    let mut attempt = 0u32;
+    loop {
+        match input.load_mode(mode) {
+            Ok(loaded) => return Ok(loaded),
+            Err(e) if e.is_transient() && attempt < config.io_retries => {
+                thread::sleep(config.retry_backoff * 2u32.saturating_pow(attempt));
+                attempt += 1;
+            }
+            Err(LoadError::Io { detail, .. }) => return Err(AnalysisError::Io { detail }),
+            Err(LoadError::Malformed { detail }) => {
+                // What would salvage have recovered? (Damaged files only,
+                // so the extra read is off the common path.)
+                let probe = input
+                    .load_mode(LoadMode::Salvage)
+                    .ok()
+                    .and_then(|l| l.salvage);
+                return Err(match probe {
+                    Some(report) if report.records > 0 => AnalysisError::Salvaged { report },
+                    _ => AnalysisError::Malformed { detail },
+                });
+            }
+        }
+    }
+}
+
+/// Runs the analysis step, optionally under a wall-clock watchdog.
+///
+/// With a timeout, analysis runs on a dedicated thread; on overrun the
+/// thread is detached (it cannot be killed) and the item is reported as
+/// timed out — the worker moves on.
+fn analyze_guarded(
+    fixed: Option<&Analyzer>,
+    vantage: Vantage,
+    timeout: Option<std::time::Duration>,
+    trace: Trace,
+) -> Result<ItemSummary, AnalysisError> {
+    match timeout {
+        None => catch_unwind(AssertUnwindSafe(|| analyze_one(fixed, &trace))).map_err(|p| {
+            AnalysisError::Panicked {
+                message: panic_message(p),
+            }
+        }),
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            let spawned = thread::Builder::new()
+                .name("tcpanaly-watchdog".into())
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let fixed = match vantage {
+                            Vantage::Sender => Some(Analyzer::at_sender()),
+                            Vantage::Receiver => Some(Analyzer::at_receiver()),
+                            Vantage::Unknown => None,
+                        };
+                        analyze_one(fixed.as_ref(), &trace)
+                    }));
+                    let _ = tx.send(result.map_err(panic_message));
+                });
+            if spawned.is_err() {
+                return Err(AnalysisError::Io {
+                    detail: "could not spawn watchdog thread".into(),
+                });
+            }
+            match rx.recv_timeout(limit) {
+                Ok(Ok(summary)) => Ok(summary),
+                Ok(Err(message)) => Err(AnalysisError::Panicked { message }),
+                Err(_) => Err(AnalysisError::Timeout {
+                    limit_ms: limit.as_millis() as u64,
+                }),
+            }
+        }
+    }
+}
+
+/// Loads and analyzes one item, converting every failure mode — panic,
+/// I/O, malformed bytes, timeout — into a reported outcome.
+fn process_item(
+    config: &CorpusConfig,
+    fixed: Option<&Analyzer>,
+    input: &TraceInput,
+) -> ItemOutcome {
+    // Load (with retry). The load itself is panic-isolated: a poisoned
+    // item must cost one item, not the worker.
+    let loaded = match catch_unwind(AssertUnwindSafe(|| load_item(config, input))) {
+        Ok(Ok(loaded)) => loaded,
+        Ok(Err(e)) => return ItemOutcome::Failed(e),
+        Err(payload) => {
+            return ItemOutcome::Failed(AnalysisError::Panicked {
+                message: panic_message(payload),
+            })
+        }
+    };
+    let Loaded { trace, salvage } = loaded;
+    let damage = salvage.filter(|r| !r.is_clean());
+    match analyze_guarded(fixed, config.vantage, config.timeout, trace) {
+        Ok(summary) => match damage {
+            Some(report) => ItemOutcome::Salvaged { summary, report },
+            None => ItemOutcome::Analyzed(summary),
+        },
+        Err(e) => ItemOutcome::Failed(e),
+    }
+}
+
 struct Cursor<S> {
     source: S,
     next_index: usize,
@@ -331,32 +651,43 @@ struct Cursor<S> {
 /// per-worker [`Analyzer`], and send `(index, outcome)` down a channel.
 /// The caller's thread collects everything and restores input order, so
 /// the returned [`CorpusReport`] — and its rendering — is byte-identical
-/// to a `jobs = 1` run.
+/// to a `jobs = 1` run. Under [`DegradePolicy::Strict`] the first
+/// malformed capture raises an abort flag; workers stop pulling and the
+/// report is marked [`CorpusReport::aborted`].
 pub fn analyze_corpus<S: TraceSource>(source: S, config: &CorpusConfig) -> CorpusReport {
     let jobs = config.effective_jobs().max(1);
     let cursor = Mutex::new(Cursor {
         source,
         next_index: 0,
     });
+    let abort = AtomicBool::new(false);
     let (tx, rx) = mpsc::channel::<ItemReport>();
 
     let mut items = thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let cursor = &cursor;
-            let vantage = config.vantage;
+            let abort = &abort;
             scope.spawn(move || {
                 // Per-worker analyzer: constructed once, reused for every
                 // item this worker claims (auto-vantage has no fixed
                 // analyzer; it must sniff each trace).
-                let fixed = match vantage {
+                let fixed = match config.vantage {
                     Vantage::Sender => Some(Analyzer::at_sender()),
                     Vantage::Receiver => Some(Analyzer::at_receiver()),
                     Vantage::Unknown => None,
                 };
                 loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let (index, item) = {
-                        let mut cur = cursor.lock().expect("corpus source lock poisoned");
+                        // A worker panicking while pulling would poison the
+                        // lock; recover the guard rather than cascade.
+                        let mut cur = match cursor.lock() {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
                         match cur.source.next_item() {
                             Some(item) => {
                                 let index = cur.next_index;
@@ -367,7 +698,15 @@ pub fn analyze_corpus<S: TraceSource>(source: S, config: &CorpusConfig) -> Corpu
                         }
                     };
                     let CorpusItem { id, input } = item;
-                    let outcome = process_item(fixed.as_ref(), input);
+                    let outcome = process_item(config, fixed.as_ref(), &input);
+                    if config.degrade == DegradePolicy::Strict {
+                        if let ItemOutcome::Failed(
+                            AnalysisError::Malformed { .. } | AnalysisError::Salvaged { .. },
+                        ) = &outcome
+                        {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                    }
                     if tx.send(ItemReport { index, id, outcome }).is_err() {
                         break;
                     }
@@ -384,17 +723,10 @@ pub fn analyze_corpus<S: TraceSource>(source: S, config: &CorpusConfig) -> Corpu
     for report in &items {
         census.absorb(report);
     }
-    CorpusReport { items, census }
-}
-
-/// Loads and analyzes one item, converting panics into a reported outcome.
-fn process_item(fixed: Option<&Analyzer>, input: TraceInput) -> ItemOutcome {
-    match catch_unwind(AssertUnwindSafe(|| match input.load() {
-        Ok(trace) => ItemOutcome::Analyzed(analyze_one(fixed, &trace)),
-        Err(e) => ItemOutcome::LoadError(e),
-    })) {
-        Ok(outcome) => outcome,
-        Err(payload) => ItemOutcome::Panicked(panic_message(payload)),
+    CorpusReport {
+        items,
+        census,
+        aborted: abort.load(Ordering::Relaxed),
     }
 }
 
@@ -407,6 +739,7 @@ mod tests {
     fn empty_corpus_renders() {
         let report = analyze_corpus(MemorySource::default(), &CorpusConfig::default());
         assert_eq!(report.census.items_total, 0);
+        assert!(!report.aborted);
         assert!(report.render().contains("0 traces"));
     }
 
@@ -421,13 +754,33 @@ mod tests {
     }
 
     #[test]
-    fn load_error_is_isolated() {
+    fn load_error_is_isolated_and_typed() {
         let source = MemorySource::new(vec![tcpa_trace::CorpusItem::pcap(
             "/nonexistent/never.pcap",
         )]);
         let report = analyze_corpus(source, &CorpusConfig::default());
-        assert_eq!(report.census.load_errors, 1);
-        assert!(matches!(report.items[0].outcome, ItemOutcome::LoadError(_)));
-        assert!(report.render().contains("load error"));
+        assert_eq!(report.census.io_errors, 1);
+        assert!(matches!(
+            report.items[0].outcome,
+            ItemOutcome::Failed(AnalysisError::Io { .. })
+        ));
+        assert!(report.render().contains("i/o error"));
+        assert!(
+            report.render().contains("never.pcap"),
+            "failure line must name the originating path"
+        );
+    }
+
+    #[test]
+    fn degrade_policy_parses_and_prints() {
+        for policy in [
+            DegradePolicy::Strict,
+            DegradePolicy::Salvage,
+            DegradePolicy::Skip,
+        ] {
+            assert_eq!(policy.name().parse::<DegradePolicy>(), Ok(policy));
+        }
+        assert!("lenient".parse::<DegradePolicy>().is_err());
+        assert_eq!(DegradePolicy::default(), DegradePolicy::Skip);
     }
 }

@@ -409,8 +409,11 @@ fn guess_policy(delayed: &mut Summary, acks: &[ClassifiedAck]) -> PolicyGuess {
     if delayed.count() < 8 {
         return PolicyGuess::Unknown;
     }
-    let mean = delayed.mean().unwrap();
-    let max = delayed.percentile(98.0).unwrap();
+    // count() >= 8 was checked above, but stay graceful if the summary is
+    // ever emptied between the check and the reads.
+    let (Some(mean), Some(max)) = (delayed.mean(), delayed.percentile(98.0)) else {
+        return PolicyGuess::Unknown;
+    };
     if mean < Duration::from_millis(2) {
         // Immediate acks; and with ack-every-packet virtually every ack
         // is a "delayed" (sub-two-segment) ack.

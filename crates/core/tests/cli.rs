@@ -193,8 +193,13 @@ fn cli_batch_mode_exit_codes() {
         "/nonexistent/never.pcap",
     ]);
     assert_eq!(code, 1, "{stdout}");
-    assert!(stdout.contains("1 load errors"), "{stdout}");
+    assert!(stdout.contains("1 failed"), "{stdout}");
+    assert!(stdout.contains("failures: 1 i/o"), "{stdout}");
     assert!(stdout.contains("failed items:"), "{stdout}");
+    assert!(
+        stdout.contains("never.pcap: ") && stdout.contains("i/o error"),
+        "failure lines must carry the path and the typed error: {stdout}"
+    );
     // Batch mode is incompatible with single-trace flags → usage (2).
     let (_, stderr, code) = tcpanaly_code(&[
         "--jobs",
@@ -214,6 +219,81 @@ fn cli_batch_mode_exit_codes() {
     // Bad count → usage (2).
     let (_, _, code) = tcpanaly_code(&["--jobs", "lots", good.to_str().unwrap()]);
     assert_eq!(code, 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Path of a committed damaged fixture (see `tests/fixtures/mangled/`).
+fn mangled_fixture(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/mangled")
+        .join(name)
+}
+
+#[test]
+fn cli_degrade_salvage_single_file_recovers() {
+    let path = mangled_fixture("corrupt-timestamp.pcap");
+    let path = path.to_str().unwrap();
+    // Default (skip) policy: damaged file is an error, exit 1.
+    let (_, stderr, code) = tcpanaly_code(&[path]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("timestamp"), "{stderr}");
+    // Salvage policy: recovered records are analyzed, damage is printed.
+    let (stdout, stderr, code) = tcpanaly_code(&["--degrade=salvage", path]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("salvaged 32 records"), "{stdout}");
+    assert!(stdout.contains("corrupt-timestamp"), "{stdout}");
+    assert!(stdout.contains("Calibration"), "{stdout}");
+}
+
+#[test]
+fn cli_degrade_strict_single_file_exit_3() {
+    let path = mangled_fixture("garbage-splice.pcap");
+    let (_, stderr, code) = tcpanaly_code(&["--degrade", "strict", path.to_str().unwrap()]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("strict mode aborted"), "{stderr}");
+}
+
+#[test]
+fn cli_batch_degrade_policies_and_exit_codes() {
+    let dir = batch_dir("degrade", 2);
+    for name in ["corrupt-timestamp.pcap", "oversized-length.pcap"] {
+        std::fs::copy(mangled_fixture(name), dir.join(format!("zz-{name}"))).unwrap();
+    }
+    let dir_arg = dir.to_str().unwrap();
+
+    // skip (default): damaged items are failed items → exit 1, and the
+    // failure lines carry the typed error plus the originating path.
+    let (stdout, _, code) = tcpanaly_code(&["--jobs", "2", dir_arg]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(
+        stdout.contains("(2 analyzed, 0 salvaged, 2 failed)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("failed items:"), "{stdout}");
+    assert!(stdout.contains("damaged capture"), "{stdout}");
+    assert!(stdout.contains("zz-corrupt-timestamp.pcap"), "{stdout}");
+    assert!(stdout.contains("--degrade=salvage"), "{stdout}");
+
+    // salvage: damaged items degrade to analyzed-with-accounting → exit 0,
+    // deterministic across worker counts.
+    let (one, _, code) = tcpanaly_code(&["--jobs", "1", "--degrade=salvage", dir_arg]);
+    assert_eq!(code, 0, "{one}");
+    assert!(one.contains("(2 analyzed, 2 salvaged, 0 failed)"), "{one}");
+    assert!(one.contains("salvage: 2 traces degraded"), "{one}");
+    let (four, _, code) = tcpanaly_code(&["--jobs", "4", "--degrade=salvage", dir_arg]);
+    assert_eq!(code, 0);
+    assert_eq!(one, four, "salvage census must not depend on worker count");
+
+    // strict: first malformed capture aborts the run → exit 3.
+    let (stdout, stderr, code) = tcpanaly_code(&["--jobs", "1", "--degrade", "strict", dir_arg]);
+    assert_eq!(code, 3, "{stdout}\n{stderr}");
+    assert!(stdout.contains("RUN ABORTED"), "{stdout}");
+    assert!(stderr.contains("strict mode aborted"), "{stderr}");
+
+    // An unknown mode is a usage error → exit 2.
+    let (_, stderr, code) = tcpanaly_code(&["--degrade", "lenient", dir_arg]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown degradation mode"), "{stderr}");
     let _ = std::fs::remove_dir_all(dir);
 }
 

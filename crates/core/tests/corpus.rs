@@ -4,9 +4,11 @@
 
 use tcpa_tcpsim::harness::{run_transfer, PathSpec};
 use tcpa_tcpsim::profiles;
-use tcpa_trace::{CorpusItem, MemorySource, Trace};
+use tcpa_trace::mangle::{inject, FaultKind};
+use tcpa_trace::{pcap_io, CorpusItem, MemorySource, Trace};
+use tcpa_wire::TsResolution;
 use tcpanaly::calibrate::Vantage;
-use tcpanaly::corpus::{analyze_corpus, CorpusConfig, ItemOutcome};
+use tcpanaly::corpus::{analyze_corpus, AnalysisError, CorpusConfig, DegradePolicy, ItemOutcome};
 
 /// A 50-trace simulated corpus mixing implementations, sizes and seeds.
 fn build_corpus() -> Vec<CorpusItem> {
@@ -36,6 +38,7 @@ fn config(jobs: usize) -> CorpusConfig {
     CorpusConfig {
         jobs,
         vantage: Vantage::Sender,
+        ..CorpusConfig::default()
     }
 }
 
@@ -79,7 +82,8 @@ fn one_poisoned_trace_costs_one_item_not_the_pipeline() {
     assert_eq!(report.census.analyzed, 49);
     assert!(matches!(
         &report.items[17].outcome,
-        ItemOutcome::Panicked(msg) if msg.contains("poisoned corpus item")
+        ItemOutcome::Failed(AnalysisError::Panicked { message })
+            if message.contains("poisoned corpus item")
     ));
     for (i, item) in report.items.iter().enumerate() {
         if i != 17 {
@@ -100,10 +104,114 @@ fn load_errors_and_empty_traces_are_reported_not_fatal() {
     ];
     let report = analyze_corpus(MemorySource::new(items), &config(2));
     assert_eq!(report.census.items_total, 2);
-    assert_eq!(report.census.load_errors, 1);
+    assert_eq!(report.census.io_errors, 1);
     // An empty trace analyzes to zero connections rather than failing.
     assert!(matches!(report.items[0].outcome, ItemOutcome::Analyzed(_)));
     assert_eq!(report.census.connections, 0);
+}
+
+/// A 12-item corpus of pcap-bytes items where every third capture has a
+/// seeded fault injected (≥ the acceptance floor of 10% faulted).
+fn mangled_corpus() -> (Vec<CorpusItem>, usize) {
+    let kinds = [
+        FaultKind::CorruptTimestamp,
+        FaultKind::OversizedLength,
+        FaultKind::GarbageSplice,
+        FaultKind::ZeroLength,
+    ];
+    let mut items = Vec::new();
+    let mut damaged = 0;
+    for i in 0..12u64 {
+        let out = run_transfer(
+            profiles::reno(),
+            profiles::reno(),
+            &PathSpec::default(),
+            8 * 1024,
+            7000 + i,
+        );
+        let bytes =
+            pcap_io::write_pcap(&out.sender_trace(), Vec::new(), TsResolution::Micro, 0).unwrap();
+        let bytes = if i % 3 == 0 {
+            damaged += 1;
+            let kind = kinds[(i / 3) as usize % kinds.len()];
+            inject(&bytes, kind, 0xdead + i).expect("injectable").0
+        } else {
+            bytes
+        };
+        items.push(CorpusItem::pcap_bytes(format!("mc{i:02}"), bytes));
+    }
+    (items, damaged)
+}
+
+#[test]
+fn salvage_policy_degrades_damaged_items_instead_of_failing() {
+    let (items, damaged) = mangled_corpus();
+    let salvage = CorpusConfig {
+        jobs: 4,
+        vantage: Vantage::Sender,
+        degrade: DegradePolicy::Salvage,
+        ..CorpusConfig::default()
+    };
+    let report = analyze_corpus(MemorySource::new(items.clone()), &salvage);
+    assert!(!report.aborted);
+    assert_eq!(report.census.failed(), 0, "{}", report.render());
+    assert_eq!(report.census.salvaged, damaged);
+    assert_eq!(report.census.analyzed, 12 - damaged);
+    assert!(report.census.bytes_skipped > 0);
+    assert!(report.render().contains("salvage:"), "{}", report.render());
+
+    // Deterministic for any worker count.
+    let serial = analyze_corpus(
+        MemorySource::new(items.clone()),
+        &CorpusConfig {
+            jobs: 1,
+            ..salvage.clone()
+        },
+    );
+    assert_eq!(serial.render(), report.render());
+
+    // Skip (default) policy: the same damage becomes typed failures, and
+    // the probe reports what salvage would have recovered.
+    let skip = CorpusConfig {
+        jobs: 4,
+        vantage: Vantage::Sender,
+        ..CorpusConfig::default()
+    };
+    let report = analyze_corpus(MemorySource::new(items.clone()), &skip);
+    assert!(!report.aborted);
+    assert_eq!(report.census.malformed, damaged, "{}", report.render());
+    assert!(report
+        .items
+        .iter()
+        .any(|r| matches!(&r.outcome, ItemOutcome::Failed(AnalysisError::Salvaged { report }) if report.records > 0)));
+
+    // Strict policy: the run aborts and says so.
+    let strict = CorpusConfig {
+        jobs: 4,
+        vantage: Vantage::Sender,
+        degrade: DegradePolicy::Strict,
+        ..CorpusConfig::default()
+    };
+    let report = analyze_corpus(MemorySource::new(items), &strict);
+    assert!(report.aborted);
+    assert!(report.first_failure().is_some());
+    assert!(report.render().contains("RUN ABORTED"));
+}
+
+#[test]
+fn watchdog_census_is_identical_to_inline_census() {
+    let items = build_corpus();
+    let inline = analyze_corpus(MemorySource::new(items.clone()), &config(4));
+    let guarded = analyze_corpus(
+        MemorySource::new(items),
+        &CorpusConfig {
+            timeout: Some(std::time::Duration::from_secs(120)),
+            ..config(4)
+        },
+    );
+    // A generous watchdog changes nothing about the results.
+    assert_eq!(inline.render(), guarded.render());
+    assert_eq!(guarded.census.timeouts, 0);
 }
 
 #[test]
@@ -115,6 +223,7 @@ fn auto_vantage_batch_matches_fixed_vantage_on_sender_traces() {
         &CorpusConfig {
             jobs: 2,
             vantage: Vantage::Unknown,
+            ..CorpusConfig::default()
         },
     );
     // Auto-detection must land on Sender for these traces, so the merged

@@ -60,8 +60,10 @@ proptest! {
     ) {
         let profiles = all_profiles();
         let cfg = profiles[profile_idx % profiles.len()].clone();
-        let mut path = PathSpec::default();
-        path.loss_data = loss;
+        let path = PathSpec {
+            loss_data: loss,
+            ..PathSpec::default()
+        };
         let out = run_transfer(cfg.clone(), profiles[0].clone(), &path, 48 * 1024, seed);
         let (measured, _) = apply(&out.sender_tap, &filter, seed);
 
@@ -94,8 +96,10 @@ proptest! {
         let profiles = all_profiles();
         let cfg = profiles[profile_idx % profiles.len()].clone();
         let peer = profiles[peer_idx % profiles.len()].clone();
-        let mut path = PathSpec::default();
-        path.loss_data = LossModel::Periodic(every);
+        let path = PathSpec {
+            loss_data: LossModel::Periodic(every),
+            ..PathSpec::default()
+        };
         let out = run_transfer(cfg.clone(), peer, &path, 48 * 1024, seed);
         prop_assume!(out.completed);
         let conn = Connection::split(&out.sender_trace()).remove(0);

@@ -66,6 +66,7 @@ impl Stack for Pump {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build(
     count: u32,
     per_tick: u32,

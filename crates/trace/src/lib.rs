@@ -17,12 +17,16 @@
 //!   analyzer (response-delay summaries, ack-delay histograms).
 //! * [`plot`] — time/sequence-number plot extraction and ASCII rendering,
 //!   the reproduction's stand-in for the paper's sequence plots.
-//! * [`pcap_io`] — conversion between [`Trace`] and libpcap capture files.
+//! * [`pcap_io`] — conversion between [`Trace`] and libpcap capture files,
+//!   including salvage-mode ingest of damaged captures.
+//! * [`mangle`] — seeded fault injection into capture bytes (the §3 error
+//!   taxonomy at file level), for testing graceful degradation.
 //! * [`source`] — corpus trace sources ([`TraceSource`]) feeding the
 //!   batch-analysis pipeline in `tcpanaly`.
 
 pub mod conn;
 pub mod connstats;
+pub mod mangle;
 pub mod pcap_io;
 pub mod plot;
 pub mod record;
@@ -32,7 +36,9 @@ pub mod time;
 
 pub use conn::{ConnKey, Connection, Dir, Endpoint};
 pub use connstats::ConnStats;
+pub use mangle::{FaultKind, InjectedFault, MangleSpec};
+pub use pcap_io::IngestReport;
 pub use record::{Trace, TraceRecord};
-pub use source::{CorpusItem, MemorySource, TraceInput, TraceSource};
+pub use source::{CorpusItem, LoadError, LoadMode, Loaded, MemorySource, TraceInput, TraceSource};
 pub use stats::{Histogram, Summary};
 pub use time::{Duration, Time};

@@ -9,10 +9,14 @@
 
 use crate::record::{Trace, TraceRecord};
 use crate::time::Time;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use tcpa_wire::ethernet::{EtherType, EthernetRepr, MacAddr};
-use tcpa_wire::pcap::{PcapError, PcapReader, PcapWriter, LINKTYPE_ETHERNET};
-use tcpa_wire::{Ipv4Repr, TcpRepr, TsResolution, WireError};
+use tcpa_wire::pcap::{
+    salvage_records, DamageRegion, FaultKind, PcapError, PcapReader, PcapRecord, PcapWriter,
+    LINKTYPE_ETHERNET,
+};
+use tcpa_wire::{Ipv4Repr, TcpRepr, TsResolution};
 
 /// Builds the full frame bytes for one record (Ethernet + IP + TCP +
 /// synthetic payload).
@@ -84,52 +88,160 @@ pub fn write_pcap<W: Write>(
 pub fn read_pcap<R: Read>(input: R) -> Result<(Trace, usize), PcapError> {
     let mut reader = PcapReader::new(input)?;
     if reader.linktype() != LINKTYPE_ETHERNET {
-        return Err(PcapError::Format(WireError::BadValue));
+        return Err(PcapError::UnsupportedLinkType {
+            linktype: reader.linktype(),
+        });
     }
     let mut trace = Trace::new();
     let mut skipped = 0usize;
     while let Some(pkt) = reader.next_record()? {
-        let Ok((eth, ip_bytes)) = EthernetRepr::parse(&pkt.data) else {
-            skipped += 1;
-            continue;
-        };
-        if eth.ethertype != EtherType::Ipv4 {
-            skipped += 1;
-            continue;
+        match decode_frame(&pkt) {
+            Some(rec) => trace.push(rec),
+            None => skipped += 1,
         }
-        // Lenient parse: snap lengths legitimately truncate the payload.
-        let Ok((ip, tcp_bytes)) = Ipv4Repr::parse_lenient(ip_bytes) else {
-            skipped += 1;
-            continue;
-        };
-        if ip.protocol != tcpa_wire::IpProtocol::Tcp {
-            skipped += 1;
-            continue;
-        }
-        let Ok((tcp, captured_payload)) = TcpRepr::parse(tcp_bytes) else {
-            skipped += 1;
-            continue;
-        };
-        let header_len = tcp.header_len();
-        let payload_len = (ip.payload_len.saturating_sub(header_len)) as u32;
-        // Full payload present iff the captured TCP segment length matches
-        // the IP claim; only then can the checksum be verified.
-        let checksum_ok = if captured_payload.len() == payload_len as usize
-            && pkt.orig_len as usize == pkt.data.len()
-        {
-            Some(TcpRepr::verify_checksum(ip.src, ip.dst, tcp_bytes))
-        } else {
-            None
-        };
-        trace.push(TraceRecord {
-            ts: Time(pkt.ts_nanos as i64),
-            ip,
-            tcp,
-            payload_len,
-            checksum_ok,
-        });
     }
     Ok((trace, skipped))
+}
+
+/// Decodes one captured Ethernet frame into a [`TraceRecord`], or `None`
+/// when it is not a parseable TCP/IPv4 frame (the paper's filters matched
+/// TCP packets only; everything else is counted and skipped).
+fn decode_frame(pkt: &PcapRecord) -> Option<TraceRecord> {
+    let (eth, ip_bytes) = EthernetRepr::parse(&pkt.data).ok()?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return None;
+    }
+    // Lenient parse: snap lengths legitimately truncate the payload.
+    let (ip, tcp_bytes) = Ipv4Repr::parse_lenient(ip_bytes).ok()?;
+    if ip.protocol != tcpa_wire::IpProtocol::Tcp {
+        return None;
+    }
+    let (tcp, captured_payload) = TcpRepr::parse(tcp_bytes).ok()?;
+    let header_len = tcp.header_len();
+    let payload_len = (ip.payload_len.saturating_sub(header_len)) as u32;
+    // Full payload present iff the captured TCP segment length matches
+    // the IP claim; only then can the checksum be verified.
+    let checksum_ok = if captured_payload.len() == payload_len as usize
+        && pkt.orig_len as usize == pkt.data.len()
+    {
+        Some(TcpRepr::verify_checksum(ip.src, ip.dst, tcp_bytes))
+    } else {
+        None
+    };
+    Some(TraceRecord {
+        ts: Time(pkt.ts_nanos as i64),
+        ip,
+        tcp,
+        payload_len,
+        checksum_ok,
+    })
+}
+
+/// What salvage-mode ingest recovered from one capture and what it had to
+/// give up: the per-file degradation ledger the corpus census aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Capture records recovered from the byte stream.
+    pub records: usize,
+    /// Records that decoded into TCP/IPv4 trace entries.
+    pub frames: usize,
+    /// Records skipped as non-TCP or undecodable frames.
+    pub frames_skipped: usize,
+    /// Total bytes presented.
+    pub bytes_total: u64,
+    /// Bytes inside damaged regions, never parsed into any record.
+    pub bytes_skipped: u64,
+    /// The global header was unusable; defaults were assumed.
+    pub header_assumed: bool,
+    /// Every damaged region with its classification, in file order.
+    pub damage: Vec<DamageRegion>,
+}
+
+impl IngestReport {
+    /// `true` when the capture parsed without any damage.
+    pub fn is_clean(&self) -> bool {
+        self.damage.is_empty() && !self.header_assumed
+    }
+
+    /// Damaged-region count per fault class (stable iteration order).
+    pub fn fault_counts(&self) -> BTreeMap<FaultKind, usize> {
+        let mut counts = BTreeMap::new();
+        for region in &self.damage {
+            *counts.entry(region.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+impl core::fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "clean: {} records ({} TCP frames)",
+                self.records, self.frames
+            );
+        }
+        write!(
+            f,
+            "salvaged {} records ({} TCP frames), skipped {}/{} bytes in {} damaged region(s)",
+            self.records,
+            self.frames,
+            self.bytes_skipped,
+            self.bytes_total,
+            self.damage.len()
+        )?;
+        let counts = self.fault_counts();
+        if !counts.is_empty() {
+            write!(f, " [")?;
+            for (i, (kind, n)) in counts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{kind} x{n}")?;
+            }
+            write!(f, "]")?;
+        }
+        if self.header_assumed {
+            write!(f, " (global header assumed: LE/µs/Ethernet)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Salvage-mode ingest over in-memory capture bytes: never fails, never
+/// panics. Damaged regions are skipped via resynchronization and accounted
+/// for in the returned [`IngestReport`]; whatever TCP frames survive are
+/// decoded exactly as [`read_pcap`] would.
+pub fn read_pcap_salvage_bytes(bytes: &[u8]) -> (Trace, IngestReport) {
+    let (records, summary) = salvage_records(bytes);
+    let mut trace = Trace::new();
+    let mut frames_skipped = 0usize;
+    for pkt in &records {
+        match decode_frame(pkt) {
+            Some(rec) => trace.push(rec),
+            None => frames_skipped += 1,
+        }
+    }
+    let report = IngestReport {
+        records: records.len(),
+        frames: trace.len(),
+        frames_skipped,
+        bytes_total: summary.bytes_total,
+        bytes_skipped: summary.bytes_skipped,
+        header_assumed: summary.header_assumed,
+        damage: summary.damage,
+    };
+    (trace, report)
+}
+
+/// Salvage-mode ingest from any reader (buffers the capture; resync needs
+/// random access). Only genuine I/O failure is an error — malformed bytes
+/// degrade into the [`IngestReport`] instead.
+pub fn read_pcap_salvage<R: Read>(mut input: R) -> std::io::Result<(Trace, IngestReport)> {
+    let mut bytes = Vec::new();
+    input.read_to_end(&mut bytes)?;
+    Ok(read_pcap_salvage_bytes(&bytes))
 }
 
 #[cfg(test)]
@@ -209,6 +321,35 @@ mod tests {
         let (read, skipped) = read_pcap(Cursor::new(bytes)).unwrap();
         assert_eq!(read.len(), 4);
         assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn salvage_matches_strict_on_clean_capture() {
+        let trace = sample_trace();
+        let bytes = write_pcap(&trace, Vec::new(), TsResolution::Nano, 0).unwrap();
+        let (strict, _) = read_pcap(Cursor::new(&bytes[..])).unwrap();
+        let (salvaged, report) = read_pcap_salvage(Cursor::new(&bytes[..])).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.frames, strict.len());
+        assert_eq!(report.bytes_skipped, 0);
+        assert_eq!(salvaged.records, strict.records);
+        assert!(report.to_string().starts_with("clean:"));
+    }
+
+    #[test]
+    fn salvage_recovers_records_around_damage() {
+        let trace = sample_trace();
+        let bytes = write_pcap(&trace, Vec::new(), TsResolution::Micro, 0).unwrap();
+        let (mangled, fault) =
+            crate::mangle::inject(&bytes, crate::mangle::FaultKind::GarbageSplice, 11)
+                .expect("clean capture accepts a splice");
+        let (salvaged, report) = read_pcap_salvage_bytes(&mangled);
+        assert_eq!(salvaged.len(), trace.len(), "no record should be lost");
+        assert!(!report.is_clean());
+        assert_eq!(report.damage.len(), 1);
+        assert_eq!(report.damage[0].offset, fault.offset);
+        assert!(report.bytes_skipped >= 16);
+        assert!(report.to_string().contains("damaged region"));
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! *loaded by the worker that claims it*, so file I/O and pcap decoding
 //! parallelize along with the analysis itself.
 
-use crate::pcap_io;
+use crate::pcap_io::{self, IngestReport};
 use crate::record::Trace;
 use std::collections::VecDeque;
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One unit of corpus work: a labelled, possibly not-yet-loaded trace.
 #[derive(Debug, Clone)]
@@ -28,6 +30,10 @@ pub enum TraceInput {
     Memory(Trace),
     /// A pcap file, opened and decoded by the worker that claims the item.
     PcapFile(PathBuf),
+    /// In-memory capture bytes, decoded by the worker that claims the
+    /// item (mangled-corpus tests, network-received captures). `Arc`'d so
+    /// cloning an item does not copy the capture.
+    PcapBytes(Arc<Vec<u8>>),
     /// Fault injection: panics on load. Exists so the pipeline's
     /// panic-isolation guarantee (one poisoned trace must cost one item,
     /// not the whole run) stays testable without a real analyzer bug.
@@ -52,6 +58,14 @@ impl CorpusItem {
         }
     }
 
+    /// An item over raw capture bytes already in memory.
+    pub fn pcap_bytes(id: impl Into<String>, bytes: Vec<u8>) -> CorpusItem {
+        CorpusItem {
+            id: id.into(),
+            input: TraceInput::PcapBytes(Arc::new(bytes)),
+        }
+    }
+
     /// A poisoned item whose load panics (fault injection for tests).
     pub fn poison(id: impl Into<String>) -> CorpusItem {
         CorpusItem {
@@ -61,21 +75,124 @@ impl CorpusItem {
     }
 }
 
+/// How [`TraceInput::load_mode`] treats a damaged capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// The first malformed byte fails the load ([`LoadError::Malformed`]).
+    Strict,
+    /// Damaged regions are skipped and accounted for in an
+    /// [`IngestReport`]; only genuine I/O failure fails the load.
+    Salvage,
+}
+
+/// Why a trace could not be loaded. `Io` and `Malformed` are distinct on
+/// purpose: an I/O error may be transient (worth retrying), while
+/// malformed bytes never fix themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The underlying read failed.
+    Io {
+        /// The OS error class, for retry decisions.
+        kind: ErrorKind,
+        /// Human-readable description including the path.
+        detail: String,
+    },
+    /// The capture bytes are malformed (strict mode only).
+    Malformed {
+        /// Human-readable description including the path and byte offset.
+        detail: String,
+    },
+}
+
+impl LoadError {
+    /// `true` when retrying the load could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            LoadError::Io {
+                kind: ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut,
+                ..
+            }
+        )
+    }
+}
+
+impl core::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LoadError::Io { detail, .. } => write!(f, "{detail}"),
+            LoadError::Malformed { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// A successfully loaded trace, with the degradation ledger when salvage
+/// mode had to skip damage (`None` for in-memory traces and clean files).
+#[derive(Debug, Clone)]
+pub struct Loaded {
+    /// The decoded trace.
+    pub trace: Trace,
+    /// Salvage accounting, present only for pcap inputs read in
+    /// [`LoadMode::Salvage`].
+    pub salvage: Option<IngestReport>,
+}
+
 impl TraceInput {
     /// Materializes the trace, doing any file I/O and pcap decoding on the
-    /// calling thread. Errors are strings: the pipeline reports them
-    /// per-item rather than aborting the batch.
-    pub fn load(self) -> Result<Trace, String> {
+    /// calling thread. Takes `&self` so a caller can retry transient I/O
+    /// failures without re-claiming the item.
+    pub fn load_mode(&self, mode: LoadMode) -> Result<Loaded, LoadError> {
         match self {
-            TraceInput::Memory(trace) => Ok(trace),
+            TraceInput::Memory(trace) => Ok(Loaded {
+                trace: trace.clone(),
+                salvage: None,
+            }),
             TraceInput::PcapFile(path) => {
-                let file =
-                    std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-                pcap_io::read_pcap(std::io::BufReader::new(file))
-                    .map(|(trace, _skipped)| trace)
-                    .map_err(|e| format!("{}: {e:?}", path.display()))
+                let bytes = std::fs::read(path).map_err(|e| LoadError::Io {
+                    kind: e.kind(),
+                    detail: format!("{}: {e}", path.display()),
+                })?;
+                decode_bytes(&bytes, mode, &path.display().to_string())
             }
+            TraceInput::PcapBytes(bytes) => decode_bytes(bytes, mode, "<memory capture>"),
             TraceInput::Poison => panic!("poisoned corpus item loaded"),
+        }
+    }
+
+    /// Strict-mode load with stringly errors — the original corpus-item
+    /// contract, kept for callers that do not care about the taxonomy.
+    pub fn load(self) -> Result<Trace, String> {
+        self.load_mode(LoadMode::Strict)
+            .map(|loaded| loaded.trace)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Decodes capture bytes under the requested degradation mode.
+fn decode_bytes(bytes: &[u8], mode: LoadMode, label: &str) -> Result<Loaded, LoadError> {
+    match mode {
+        LoadMode::Strict => pcap_io::read_pcap(std::io::Cursor::new(bytes))
+            .map(|(trace, _skipped)| Loaded {
+                trace,
+                salvage: None,
+            })
+            .map_err(|e| match e {
+                tcpa_wire::pcap::PcapError::Io(io) => LoadError::Io {
+                    kind: io.kind(),
+                    detail: format!("{label}: {io}"),
+                },
+                other => LoadError::Malformed {
+                    detail: format!("{label}: {other}"),
+                },
+            }),
+        LoadMode::Salvage => {
+            let (trace, report) = pcap_io::read_pcap_salvage_bytes(bytes);
+            Ok(Loaded {
+                trace,
+                salvage: Some(report),
+            })
         }
     }
 }
@@ -159,6 +276,35 @@ mod tests {
     fn missing_pcap_is_a_load_error_not_a_panic() {
         let item = CorpusItem::pcap("/nonexistent/never.pcap");
         assert!(item.input.load().is_err());
+    }
+
+    #[test]
+    fn missing_pcap_is_io_in_both_modes_and_not_transient() {
+        let item = CorpusItem::pcap("/nonexistent/never.pcap");
+        for mode in [LoadMode::Strict, LoadMode::Salvage] {
+            match item.input.load_mode(mode) {
+                Err(e @ LoadError::Io { kind, .. }) => {
+                    assert_eq!(kind, ErrorKind::NotFound);
+                    assert!(!e.is_transient());
+                }
+                other => panic!("expected Io error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_strict_vs_salvage() {
+        let item = CorpusItem::pcap_bytes("soup", vec![0u8; 64]);
+        match item.input.load_mode(LoadMode::Strict) {
+            Err(LoadError::Malformed { detail }) => {
+                assert!(detail.contains("magic"), "{detail}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let loaded = item.input.load_mode(LoadMode::Salvage).expect("salvage");
+        let report = loaded.salvage.expect("pcap inputs carry a report");
+        assert!(!report.is_clean());
+        assert!(loaded.trace.is_empty() || loaded.trace.len() < 4);
     }
 
     #[test]

@@ -151,6 +151,112 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The salvage reader's core guarantee: arbitrary byte soup never
+    /// panics, never loops, and every byte is accounted for (consumed by
+    /// a record or counted as skipped damage).
+    #[test]
+    fn salvage_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let (trace, report) = pcap_io::read_pcap_salvage_bytes(&bytes);
+        prop_assert_eq!(report.bytes_total, bytes.len() as u64);
+        prop_assert!(report.bytes_skipped <= report.bytes_total);
+        prop_assert!(trace.len() <= report.records);
+        let mut prev_end = 0u64;
+        for d in &report.damage {
+            prop_assert!(d.offset >= prev_end, "damage regions must not overlap");
+            prop_assert!(d.offset + d.len <= bytes.len() as u64);
+            prop_assert!(d.len > 0);
+            prev_end = d.offset + d.len;
+        }
+    }
+
+    /// Salvage is a pure function of the bytes.
+    #[test]
+    fn salvage_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let (t1, r1) = pcap_io::read_pcap_salvage_bytes(&bytes);
+        let (t2, r2) = pcap_io::read_pcap_salvage_bytes(&bytes);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(t1.len(), t2.len());
+    }
+
+    /// Byte soup prefixed with a valid header behaves the same way —
+    /// exercises the record loop rather than header recovery.
+    #[test]
+    fn salvage_survives_valid_header_plus_soup(soup in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let trace = Trace::new();
+        let mut bytes = pcap_io::write_pcap(&trace, Vec::new(), TsResolution::Micro, 0).unwrap();
+        bytes.extend_from_slice(&soup);
+        let (_, report) = pcap_io::read_pcap_salvage_bytes(&bytes);
+        prop_assert_eq!(report.bytes_total, bytes.len() as u64);
+        prop_assert!(!report.header_assumed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mangle → salvage round trip: a seeded fault in a well-formed
+    /// capture never panics the salvage reader, damage is reported for
+    /// every injected fault, and recovery loses at most the records a
+    /// single fault can plausibly take out.
+    #[test]
+    fn mangled_capture_salvages_within_bounds(
+        records in proptest::collection::vec(arb_record(), 2..24),
+        kind_idx in any::<proptest::sample::Index>(),
+        seed in any::<u64>(),
+    ) {
+        let kind = tcpa_trace::mangle::FaultKind::ALL
+            [kind_idx.index(tcpa_trace::mangle::FaultKind::ALL.len())];
+        let trace: Trace = records.into_iter().collect();
+        let n = trace.len();
+        let base = pcap_io::write_pcap(&trace, Vec::new(), TsResolution::Micro, 0).unwrap();
+        prop_assume!(tcpa_trace::mangle::inject(&base, kind, seed).is_some());
+        let (mangled, fault) = tcpa_trace::mangle::inject(&base, kind, seed).unwrap();
+        prop_assert_eq!(fault.kind, kind);
+        let (salvaged, report) = pcap_io::read_pcap_salvage_bytes(&mangled);
+        prop_assert_eq!(report.bytes_total, mangled.len() as u64);
+        prop_assert!(!report.is_clean(), "an injected {kind} must be visible");
+        match kind {
+            // Whole-file faults can cost everything after the fault point.
+            tcpa_trace::mangle::FaultKind::TruncatedGlobalHeader
+            | tcpa_trace::mangle::FaultKind::MidRecordEof
+            | tcpa_trace::mangle::FaultKind::TruncatedRecordHeader => {}
+            // In-place faults damage one record; resync must bring back
+            // the rest (phantom parses may add records, never frames).
+            _ => prop_assert!(
+                salvaged.len() + 2 >= n,
+                "one in-place {kind} lost {} of {n} frames",
+                n - salvaged.len().min(n)
+            ),
+        }
+    }
+
+    /// Injection is deterministic: same bytes, kind and seed → same file.
+    #[test]
+    fn inject_is_deterministic(
+        records in proptest::collection::vec(arb_record(), 2..16),
+        kind_idx in any::<proptest::sample::Index>(),
+        seed in any::<u64>(),
+    ) {
+        let kind = tcpa_trace::mangle::FaultKind::ALL
+            [kind_idx.index(tcpa_trace::mangle::FaultKind::ALL.len())];
+        let trace: Trace = records.into_iter().collect();
+        let base = pcap_io::write_pcap(&trace, Vec::new(), TsResolution::Micro, 0).unwrap();
+        let a = tcpa_trace::mangle::inject(&base, kind, seed);
+        let b = tcpa_trace::mangle::inject(&base, kind, seed);
+        match (a, b) {
+            (None, None) => {}
+            (Some((fa, ia)), Some((fb, ib))) => {
+                prop_assert_eq!(fa, fb);
+                prop_assert_eq!(ia.offset, ib.offset);
+            }
+            _ => prop_assert!(false, "inject applicability must be deterministic"),
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// ConnStats invariants. Timestamps are sorted (traces are written in

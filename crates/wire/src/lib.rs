@@ -34,7 +34,10 @@ pub mod tcp;
 pub use ethernet::{EtherType, EthernetRepr, MacAddr};
 pub use icmp::IcmpRepr;
 pub use ipv4::{IpProtocol, Ipv4Addr, Ipv4Repr};
-pub use pcap::{PcapReader, PcapRecord, PcapWriter, TsResolution};
+pub use pcap::{
+    salvage_records, DamageRegion, FaultKind, PcapError, PcapReader, PcapRecord, PcapWriter,
+    SalvageSummary, TsResolution,
+};
 pub use seq::SeqNum;
 pub use tcp::{TcpFlags, TcpOption, TcpRepr};
 

@@ -63,6 +63,7 @@ fn main() {
     let config = CorpusConfig {
         jobs: 0,
         vantage: Vantage::Sender,
+        ..CorpusConfig::default()
     };
     println!("analyzing on {} worker(s)...\n", config.effective_jobs());
     let report = analyze_corpus(MemorySource::new(items), &config);

@@ -1,0 +1,55 @@
+//! Regenerates the damaged fixture captures in `tests/fixtures/mangled/`.
+//!
+//! ```sh
+//! cargo run --example gen_mangled_fixtures
+//! ```
+//!
+//! One fixture per [`FaultKind`]: a clean simulated Reno transfer is
+//! written to pcap bytes, then `tcpa_trace::mangle::inject` plants exactly
+//! one seeded fault of that kind. Everything is deterministic (fixed
+//! simulation seed, fixed injection seed), so a regeneration that changes
+//! any committed byte signals a behavior change in the simulator, the
+//! pcap writer, or the mangler — which is exactly what the golden
+//! assertions in `tests/salvage.rs` are for.
+
+use std::path::PathBuf;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles;
+use tcpa_trace::mangle::{inject, FaultKind};
+use tcpa_trace::pcap_io;
+use tcpa_wire::TsResolution;
+
+/// Injection seed; `inject` mixes the kind in, so one constant serves all.
+const SEED: u64 = 0x5eed_f00d;
+
+fn main() {
+    let out = run_transfer(
+        profiles::reno(),
+        profiles::reno(),
+        &PathSpec::default(),
+        24 * 1024,
+        1997,
+    );
+    let base = pcap_io::write_pcap(&out.sender_trace(), Vec::new(), TsResolution::Micro, 0)
+        .expect("write base capture");
+    println!("base capture: {} bytes", base.len());
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mangled");
+    std::fs::create_dir_all(&dir).expect("mkdir fixtures/mangled");
+
+    for kind in FaultKind::ALL {
+        let (bytes, fault) =
+            inject(&base, kind, SEED).expect("every kind applies to a clean capture");
+        let path = dir.join(format!("{}.pcap", kind.label()));
+        std::fs::write(&path, &bytes).expect("write fixture");
+        println!(
+            "{:<28} {} bytes, fault at byte {}",
+            path.file_name().unwrap().to_string_lossy(),
+            bytes.len(),
+            fault.offset
+        );
+        // Print the salvage report so golden assertions can be curated.
+        let (trace, report) = pcap_io::read_pcap_salvage_bytes(&bytes);
+        println!("    -> {} ({} usable frames)", report, trace.len());
+    }
+}

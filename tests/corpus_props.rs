@@ -6,8 +6,11 @@ use proptest::prelude::*;
 use tcpa_netsim::LossModel;
 use tcpa_tcpsim::harness::{run_transfer, PathSpec};
 use tcpa_tcpsim::profiles::all_profiles;
-use tcpa_trace::{Connection, Dir, Duration};
+use tcpa_trace::mangle::{mangle, MangleSpec};
+use tcpa_trace::{pcap_io, Connection, CorpusItem, Dir, Duration, MemorySource};
+use tcpa_wire::TsResolution;
 use tcpanaly::calibrate::Calibrator;
+use tcpanaly::corpus::{analyze_corpus, CorpusConfig, DegradePolicy};
 use tcpanaly::sender::analyze_sender;
 
 fn arb_path() -> impl Strategy<Value = PathSpec> {
@@ -27,13 +30,12 @@ fn arb_path() -> impl Strategy<Value = PathSpec> {
             1 => (5u64..40).prop_map(LossModel::Periodic),
         ],
     )
-        .prop_map(|(rate, delay, queue, loss)| {
-            let mut p = PathSpec::default();
-            p.rate_bps = rate;
-            p.one_way_delay = Duration::from_millis(delay);
-            p.queue_cap = queue;
-            p.loss_data = loss;
-            p
+        .prop_map(|(rate, delay, queue, loss)| PathSpec {
+            rate_bps: rate,
+            one_way_delay: Duration::from_millis(delay),
+            queue_cap: queue,
+            loss_data: loss,
+            ..PathSpec::default()
         })
 }
 
@@ -95,5 +97,54 @@ proptest! {
                 a.issues.iter().take(2).collect::<Vec<_>>()
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Robustness at the pipeline level: a corpus where a random subset of
+    /// captures is mangled never panics the batch engine under the
+    /// salvage policy, every item is accounted for, and the merged census
+    /// is byte-identical whatever the worker count.
+    #[test]
+    fn mangled_corpus_batch_never_panics_and_is_deterministic(
+        seed in any::<u64>(),
+        n_faults in 1usize..4,
+    ) {
+        let ps = all_profiles();
+        let mut items = Vec::new();
+        for i in 0..8usize {
+            let out = run_transfer(
+                ps[(seed as usize + i) % ps.len()].clone(),
+                tcpa_tcpsim::profiles::reno(),
+                &PathSpec::default(),
+                8 * 1024,
+                seed ^ i as u64,
+            );
+            let bytes = pcap_io::write_pcap(
+                &out.sender_trace(), Vec::new(), TsResolution::Micro, 0,
+            ).unwrap();
+            // Mangle every third capture.
+            let bytes = if i % 3 == 0 {
+                let spec = MangleSpec { seed: seed ^ 0xfa17, faults: n_faults, ..MangleSpec::default() };
+                mangle(&bytes, &spec).0
+            } else {
+                bytes
+            };
+            items.push(CorpusItem::pcap_bytes(format!("m{i}"), bytes));
+        }
+        let config = |jobs| CorpusConfig {
+            jobs,
+            degrade: DegradePolicy::Salvage,
+            ..CorpusConfig::default()
+        };
+        let one = analyze_corpus(MemorySource::new(items.clone()), &config(1));
+        let four = analyze_corpus(MemorySource::new(items), &config(4));
+        prop_assert_eq!(one.census.items_total, 8);
+        prop_assert_eq!(one.census.panics, 0, "salvage policy must not panic");
+        prop_assert_eq!(one.census.analyzed + one.census.salvaged + one.census.failed(), 8);
+        prop_assert!(!one.aborted);
+        prop_assert_eq!(one.render(), four.render(), "census must not depend on jobs");
     }
 }

@@ -53,6 +53,7 @@ fn fixture_dir_drives_the_corpus_pipeline() {
     let config = CorpusConfig {
         jobs: 2,
         vantage: Vantage::Unknown,
+        ..CorpusConfig::default()
     };
     let report = analyze_corpus(source, &config);
     assert_eq!(report.census.items_total, 3);
