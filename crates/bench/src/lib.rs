@@ -18,6 +18,7 @@
 //! (who wins, what breaks, where the boundary lies) reproduces.
 
 pub mod scenarios;
+pub mod timing;
 
 use std::fmt::Write as _;
 

@@ -13,26 +13,36 @@ pub mod variants;
 
 use crate::Section;
 
+/// A scenario builder function, keyed by its stable slug in [`entries`].
+pub type ScenarioFn = fn() -> Section;
+
+/// Every scenario in paper order, as `(slug, builder)` pairs. The slug
+/// is the stable key `repro_all` uses to label stage-timing rows in
+/// `BENCH_stage_timings.json`.
+pub fn entries() -> Vec<(&'static str, ScenarioFn)> {
+    vec![
+        ("table1", table1::run as ScenarioFn),
+        ("fig1", figures::fig1),
+        ("fig2", figures::fig2),
+        ("fig3", figures::fig3),
+        ("fig4", figures::fig4),
+        ("fig5", figures::fig5),
+        ("calibration_drops", calibration::drops),
+        ("calibration_resequencing", calibration::resequencing),
+        ("calibration_time_travel", calibration::time_travel),
+        ("calibration_quench", calibration::quench),
+        ("fingerprint_confusion", fingerprints::confusion_matrix),
+        ("ack_policy", policy::ack_policy),
+        ("response_delay", policy::response_delay),
+        ("variants", variants::run),
+        ("conformance", conformance::run),
+        ("ablation", ablation::run),
+        ("corpus", corpus::run),
+        ("robustness", robustness::run),
+    ]
+}
+
 /// Every scenario in paper order, for `repro_all`.
 pub fn all() -> Vec<Section> {
-    vec![
-        table1::run(),
-        figures::fig1(),
-        figures::fig2(),
-        figures::fig3(),
-        figures::fig4(),
-        figures::fig5(),
-        calibration::drops(),
-        calibration::resequencing(),
-        calibration::time_travel(),
-        calibration::quench(),
-        fingerprints::confusion_matrix(),
-        policy::ack_policy(),
-        policy::response_delay(),
-        variants::run(),
-        conformance::run(),
-        ablation::run(),
-        corpus::run(),
-        robustness::run(),
-    ]
+    entries().into_iter().map(|(_, build)| build()).collect()
 }

@@ -1,0 +1,141 @@
+//! Per-scenario stage-timing exposition — the `tcpa-bench/v1` JSON that
+//! `repro_all` writes next to its markdown report.
+//!
+//! Each scenario run is paired with the delta of the global
+//! [`tcpanaly::obs`] registry around it, so the document breaks every
+//! scenario's wall clock down by analysis stage. Checked into
+//! `BENCH_stage_timings.json` over time it becomes a perf trajectory:
+//! future optimizations (mmap ingest, result caching) show up as a
+//! per-stage shift, not just an end-to-end delta.
+
+use tcpanaly::obs::json::{self, Value};
+use tcpanaly::obs::metrics::MetricsSnapshot;
+
+/// The bench-timings document schema identifier.
+pub const BENCH_SCHEMA: &str = "tcpa-bench/v1";
+
+/// One scenario's measured run.
+pub struct ScenarioTiming {
+    /// Scenario slug (stable across runs, e.g. `"table1"`).
+    pub scenario: String,
+    /// The paper artifact the scenario reproduces (e.g. `"Table 1"`).
+    pub section: String,
+    /// Wall clock of the whole scenario, seconds.
+    pub elapsed_secs: f64,
+    /// Registry delta around the run: stage histograms + counters.
+    pub delta: MetricsSnapshot,
+}
+
+/// Renders the `tcpa-bench/v1` document.
+pub fn render(rows: &[ScenarioTiming]) -> String {
+    let num = |v: u64| Value::Num(v.to_string());
+    let scenarios = rows
+        .iter()
+        .map(|row| {
+            let stages = row
+                .delta
+                .stages
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.to_string(),
+                        Value::Obj(vec![
+                            ("count".into(), num(h.count())),
+                            ("total_ns".into(), num(h.sum())),
+                            ("p50_ns".into(), num(h.percentile(50.0))),
+                            ("p90_ns".into(), num(h.percentile(90.0))),
+                            ("p99_ns".into(), num(h.percentile(99.0))),
+                            ("max_ns".into(), num(h.max())),
+                        ]),
+                    )
+                })
+                .collect();
+            Value::Obj(vec![
+                ("scenario".into(), Value::Str(row.scenario.clone())),
+                ("section".into(), Value::Str(row.section.clone())),
+                (
+                    "elapsed_secs".into(),
+                    Value::Num(format!("{:.6}", row.elapsed_secs)),
+                ),
+                (
+                    "counters".into(),
+                    json::counters_object(&row.delta.counters),
+                ),
+                ("stages".into(), Value::Obj(stages)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema".into(), Value::Str(BENCH_SCHEMA.into())),
+        ("scenarios".into(), Value::Arr(scenarios)),
+    ])
+    .to_json()
+}
+
+/// Validates a `tcpa-bench/v1` document, returning the first problem.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = Value::parse(text)?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        other => return Err(format!("bench: schema {other:?}, want {BENCH_SCHEMA:?}")),
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Value::as_arr)
+        .ok_or("bench: scenarios is not an array")?;
+    for (i, s) in scenarios.iter().enumerate() {
+        let what = format!("bench scenario {i}");
+        for key in ["scenario", "section"] {
+            s.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{what}: {key} is not a string"))?;
+        }
+        s.get("elapsed_secs")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{what}: elapsed_secs is not a number"))?;
+        let stages = s
+            .get("stages")
+            .and_then(Value::as_obj)
+            .ok_or_else(|| format!("{what}: stages is not an object"))?;
+        for (name, stage) in stages {
+            for field in ["count", "total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+                stage
+                    .get(field)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("{what} stage {name:?}: bad {field}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tcpanaly::obs::Registry;
+
+    #[test]
+    fn renders_and_validates() {
+        let r = Registry::new();
+        r.record("stage.calibrate", Duration::from_micros(50));
+        r.add("corpus.analyzed", 2);
+        let rows = vec![ScenarioTiming {
+            scenario: "table1".into(),
+            section: "Table 1".into(),
+            elapsed_secs: 0.125,
+            delta: r.snapshot(),
+        }];
+        let json = render(&rows);
+        validate(&json).expect("schema-valid bench document");
+        assert!(json.contains("\"table1\""), "{json}");
+        assert!(json.contains("stage.calibrate"), "{json}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(validate(r#"{"schema": "tcpa-bench/v2", "scenarios": []}"#).is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate(r#"{"schema": "tcpa-bench/v1", "scenarios": [{}]}"#).is_err());
+    }
+}

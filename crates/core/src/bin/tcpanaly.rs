@@ -19,9 +19,17 @@
 //! `--degrade MODE` decides what a damaged capture does to the run:
 //! `skip` (default) reports it as a failed item, `salvage` recovers what
 //! it can and accounts the damage, `strict` aborts with exit code 3.
+//!
+//! Observability: `--metrics-out FILE` writes a `tcpa-metrics/v1` JSON
+//! snapshot of every counter and stage histogram, `--audit-dir DIR`
+//! writes one `tcpa-audit/v1` event log per trace, `--progress` prints a
+//! periodic stderr status line, and `--quiet`/`-v`/`-vv` set diagnostic
+//! verbosity. Machine output (census, reports) stays on stdout;
+//! diagnostics stay on stderr.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 use tcpa_tcpsim::profiles::{all_profiles, profile_by_name};
 use tcpa_trace::pcap_io;
 use tcpa_trace::Connection;
@@ -29,6 +37,7 @@ use tcpa_trace::MemorySource;
 use tcpanaly::corpus::{analyze_corpus, CorpusConfig, DegradePolicy};
 use tcpanaly::fingerprint::{fingerprint_one, fingerprint_receiver};
 use tcpanaly::handshake::analyze_handshake;
+use tcpanaly::obs::{self, audit, log};
 use tcpanaly::Analyzer;
 
 struct Options {
@@ -39,6 +48,10 @@ struct Options {
     jobs: Option<usize>,
     degrade: DegradePolicy,
     timeout_secs: Option<u64>,
+    metrics_out: Option<PathBuf>,
+    audit_dir: Option<PathBuf>,
+    progress: bool,
+    level: log::Level,
     files: Vec<String>,
 }
 
@@ -66,6 +79,14 @@ options:
                           accounts the damage, strict aborts the run
   --timeout-secs N        per-trace analysis watchdog (batch mode); overruns
                           are reported as timed-out items
+  --metrics-out FILE      write a tcpa-metrics/v1 JSON snapshot of all
+                          counters and stage-duration histograms on exit
+  --audit-dir DIR         write one tcpa-audit/v1 JSON event log per trace
+                          (stage durations, retries, errors, verdicts)
+  --progress              print a periodic status line to stderr while a
+                          batch run drains (stdout is never touched)
+  --quiet                 only error diagnostics on stderr
+  -v / -vv                info / debug diagnostics on stderr
 
 exit codes: 0 success, 1 failed items, 2 usage error, 3 strict-mode abort
 ";
@@ -79,6 +100,10 @@ fn parse_args() -> Result<Options, String> {
         jobs: None,
         degrade: DegradePolicy::default(),
         timeout_secs: None,
+        metrics_out: None,
+        audit_dir: None,
+        progress: false,
+        level: log::Level::Warn,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -108,6 +133,18 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| format!("--timeout-secs: invalid count {n:?}"))?;
                 opts.timeout_secs = Some(n);
             }
+            "--metrics-out" => {
+                let path = args.next().ok_or("--metrics-out requires a path")?;
+                opts.metrics_out = Some(PathBuf::from(path));
+            }
+            "--audit-dir" => {
+                let path = args.next().ok_or("--audit-dir requires a directory")?;
+                opts.audit_dir = Some(PathBuf::from(path));
+            }
+            "--progress" => opts.progress = true,
+            "--quiet" => opts.level = log::Level::Error,
+            "-v" => opts.level = log::Level::Info,
+            "-vv" => opts.level = log::Level::Debug,
             "--handshake" => opts.handshake = true,
             "--receiver-fingerprint" => opts.receiver_fp = true,
             "--list-impls" => {
@@ -122,6 +159,12 @@ fn parse_args() -> Result<Options, String> {
             }
             other if other.starts_with("--degrade=") => {
                 opts.degrade = other["--degrade=".len()..].parse()?;
+            }
+            other if other.starts_with("--metrics-out=") => {
+                opts.metrics_out = Some(PathBuf::from(&other["--metrics-out=".len()..]));
+            }
+            other if other.starts_with("--audit-dir=") => {
+                opts.audit_dir = Some(PathBuf::from(&other["--audit-dir=".len()..]));
             }
             other if other.starts_with("--timeout-secs=") => {
                 let n = &other["--timeout-secs=".len()..];
@@ -180,10 +223,15 @@ fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
     let paths = match expand_corpus_args(&opts.files) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("tcpanaly: {e}\n{USAGE}");
+            log::error(&format!("{e}\n{USAGE}"));
             return ExitCode::from(2);
         }
     };
+    log::info(&format!(
+        "batch mode: {} traces, {jobs} jobs, degrade={}",
+        paths.len(),
+        opts.degrade
+    ));
     let config = CorpusConfig {
         jobs,
         vantage: match opts.vantage {
@@ -193,6 +241,8 @@ fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
         },
         degrade: opts.degrade,
         timeout: opts.timeout_secs.map(std::time::Duration::from_secs),
+        audit_dir: opts.audit_dir.clone(),
+        progress: opts.progress.then(|| std::time::Duration::from_millis(500)),
         ..CorpusConfig::default()
     };
     // A panicking trace is reported in the census as a failed item; keep
@@ -204,14 +254,14 @@ fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
     print!("{}", report.render());
     if report.aborted {
         if let Some(first) = report.first_failure() {
-            eprintln!(
-                "tcpanaly: strict mode aborted on {}: {}",
+            log::error(&format!(
+                "strict mode aborted on {}: {}",
                 first.id,
                 match &first.outcome {
                     tcpanaly::corpus::ItemOutcome::Failed(e) => e.to_string(),
                     _ => String::new(),
                 }
-            );
+            ));
         }
         return ExitCode::from(3);
     }
@@ -362,23 +412,32 @@ fn analyze_file(path: &str, opts: &Options) -> Result<(), FileFailure> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("tcpanaly: {e}\n{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
-    if let Some(jobs) = opts.jobs {
-        return run_batch(&opts, jobs);
-    }
+/// Single-file mode: analyze each file in turn, with a per-file audit
+/// trail when `--audit-dir` is set.
+fn run_files(opts: &Options) -> ExitCode {
     let mut failed = false;
-    for file in &opts.files {
-        if let Err(e) = analyze_file(file, &opts) {
-            eprintln!("tcpanaly: {}", e.message);
+    for (index, file) in opts.files.iter().enumerate() {
+        if opts.audit_dir.is_some() {
+            audit::begin(file.as_str(), index as u64);
+        }
+        let result = analyze_file(file, opts);
+        let outcome = match &result {
+            Ok(()) => "analyzed".to_string(),
+            Err(e) => {
+                let class = if e.malformed { "malformed" } else { "io" };
+                audit::event(audit::EventKind::Error, class, e.message.clone());
+                format!("failed.{class}")
+            }
+        };
+        if let (Some(trail), Some(dir)) = (audit::take(&outcome), opts.audit_dir.as_deref()) {
+            if let Err(e) = trail.write_to(dir) {
+                log::warn(&format!("audit trail for {file} not written: {e}"));
+            }
+        }
+        if let Err(e) = result {
+            log::error(&e.message);
             if e.malformed && opts.degrade == DegradePolicy::Strict {
-                eprintln!("tcpanaly: strict mode aborted on {file}");
+                log::error(&format!("strict mode aborted on {file}"));
                 return ExitCode::from(3);
             }
             failed = true;
@@ -389,4 +448,49 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Writes the `tcpa-metrics/v1` snapshot of the whole run.
+fn write_metrics(path: &Path, started: Instant) -> std::io::Result<()> {
+    // Declare the counters a healthy run never touches, so the document
+    // carries the full vocabulary with stable zeros.
+    for name in [
+        "corpus.io_retries",
+        "corpus.failed.io",
+        "corpus.failed.malformed",
+        "corpus.failed.timeout",
+        "corpus.failed.panic",
+        "corpus.salvaged",
+        "corpus.salvage.bytes_skipped",
+        "corpus.salvage.damage_regions",
+        "corpus.audit.write_errors",
+    ] {
+        obs::registry::global().declare(name);
+    }
+    let snapshot = obs::registry::global().snapshot();
+    std::fs::write(path, snapshot.to_json(started.elapsed().as_secs_f64()))
+}
+
+fn main() -> ExitCode {
+    let started = Instant::now();
+    log::set_program("tcpanaly");
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            log::error(&format!("{e}\n{USAGE}"));
+            return ExitCode::from(2);
+        }
+    };
+    log::set_level(opts.level);
+    let code = match opts.jobs {
+        Some(jobs) => run_batch(&opts, jobs),
+        None => run_files(&opts),
+    };
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = write_metrics(path, started) {
+            log::error(&format!("cannot write metrics to {}: {e}", path.display()));
+            return ExitCode::from(2);
+        }
+    }
+    code
 }

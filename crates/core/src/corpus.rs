@@ -25,6 +25,13 @@
 //!   wedged analysis into a [`AnalysisError::Timeout`] failure.
 //! * **Worker reuse** — each worker keeps one [`Analyzer`] (and its
 //!   vantage) for its whole life; per-trace setup is just the trace load.
+//! * **Observability** — every stage records into the global
+//!   [`tcpa_obs`] registry (counters for retries, timeouts, panics,
+//!   degrade outcomes and salvage losses; log-bucket histograms for
+//!   stage durations), an optional [`CorpusConfig::audit_dir`] writes
+//!   one JSON event log per trace, and [`CorpusConfig::progress`]
+//!   prints a periodic stderr status line. None of it perturbs the
+//!   deterministic census.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,6 +44,8 @@ use std::thread;
 use crate::calibrate::Vantage;
 use crate::fingerprint::FitClass;
 use crate::report::{AnalysisReport, Analyzer};
+use tcpa_obs::audit::{self, AuditTrail, EventKind};
+use tcpa_obs::progress::{ItemClass, Progress};
 use tcpa_trace::pcap_io::IngestReport;
 use tcpa_trace::source::{CorpusItem, LoadError, LoadMode, Loaded, TraceInput, TraceSource};
 use tcpa_trace::{Duration, Summary, Trace};
@@ -113,6 +122,14 @@ pub struct CorpusConfig {
     pub io_retries: u32,
     /// Backoff before the first retry; doubles per attempt.
     pub retry_backoff: std::time::Duration,
+    /// When set, one `tcpa-audit/v1` JSON event log is written here per
+    /// processed trace (the directory is created if absent). Write
+    /// failures are logged and counted, never fatal.
+    pub audit_dir: Option<std::path::PathBuf>,
+    /// When set, a status line is printed to stderr at this interval
+    /// (and once at the end) while the corpus drains. Stdout is never
+    /// touched.
+    pub progress: Option<std::time::Duration>,
 }
 
 impl Default for CorpusConfig {
@@ -124,6 +141,8 @@ impl Default for CorpusConfig {
             timeout: None,
             io_retries: 2,
             retry_backoff: std::time::Duration::from_millis(20),
+            audit_dir: None,
+            progress: None,
         }
     }
 }
@@ -193,6 +212,19 @@ impl core::fmt::Display for AnalysisError {
 
 impl std::error::Error for AnalysisError {}
 
+impl AnalysisError {
+    /// Stable failure-class name used in metrics counters and audit
+    /// outcomes (`failed.io`, `failed.malformed`, …).
+    pub fn class(&self) -> &'static str {
+        match self {
+            AnalysisError::Io { .. } => "io",
+            AnalysisError::Malformed { .. } | AnalysisError::Salvaged { .. } => "malformed",
+            AnalysisError::Timeout { .. } => "timeout",
+            AnalysisError::Panicked { .. } => "panic",
+        }
+    }
+}
+
 /// What happened to one corpus item.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ItemOutcome {
@@ -217,6 +249,53 @@ impl ItemOutcome {
             self,
             ItemOutcome::Analyzed(_) | ItemOutcome::Salvaged { .. }
         )
+    }
+
+    /// Stable outcome name used in metrics counters and audit trails:
+    /// `analyzed`, `salvaged`, or `failed.<class>`.
+    pub fn name(&self) -> String {
+        match self {
+            ItemOutcome::Analyzed(_) => "analyzed".into(),
+            ItemOutcome::Salvaged { .. } => "salvaged".into(),
+            ItemOutcome::Failed(e) => format!("failed.{}", e.class()),
+        }
+    }
+
+    /// Bumps the corpus-level counters this outcome contributes to.
+    /// Sums are order-independent, so the resulting metrics are
+    /// deterministic whatever the worker count.
+    fn count_into_metrics(&self) {
+        tcpa_obs::add("corpus.items_total", 1);
+        match self {
+            ItemOutcome::Analyzed(_) => tcpa_obs::add("corpus.analyzed", 1),
+            ItemOutcome::Salvaged { report, .. } => {
+                tcpa_obs::add("corpus.salvaged", 1);
+                tcpa_obs::add("corpus.salvage.bytes_skipped", report.bytes_skipped);
+                tcpa_obs::add("corpus.salvage.damage_regions", report.damage.len() as u64);
+            }
+            ItemOutcome::Failed(e) => {
+                tcpa_obs::add(
+                    match e {
+                        AnalysisError::Io { .. } => "corpus.failed.io",
+                        AnalysisError::Malformed { .. } | AnalysisError::Salvaged { .. } => {
+                            "corpus.failed.malformed"
+                        }
+                        AnalysisError::Timeout { .. } => "corpus.failed.timeout",
+                        AnalysisError::Panicked { .. } => "corpus.failed.panic",
+                    },
+                    1,
+                );
+            }
+        }
+    }
+
+    /// The progress-meter classification of this outcome.
+    fn progress_class(&self) -> ItemClass {
+        match self {
+            ItemOutcome::Analyzed(_) => ItemClass::Analyzed,
+            ItemOutcome::Salvaged { .. } => ItemClass::Salvaged,
+            ItemOutcome::Failed(_) => ItemClass::Failed,
+        }
     }
 }
 
@@ -541,6 +620,12 @@ fn load_item(config: &CorpusConfig, input: &TraceInput) -> Result<Loaded, Analys
         match input.load_mode(mode) {
             Ok(loaded) => return Ok(loaded),
             Err(e) if e.is_transient() && attempt < config.io_retries => {
+                tcpa_obs::add("corpus.io_retries", 1);
+                audit::event(
+                    EventKind::Retry,
+                    "load",
+                    format!("attempt {}: {e}", attempt + 1),
+                );
                 thread::sleep(config.retry_backoff * 2u32.saturating_pow(attempt));
                 attempt += 1;
             }
@@ -565,7 +650,10 @@ fn load_item(config: &CorpusConfig, input: &TraceInput) -> Result<Loaded, Analys
 ///
 /// With a timeout, analysis runs on a dedicated thread; on overrun the
 /// thread is detached (it cannot be killed) and the item is reported as
-/// timed out — the worker moves on.
+/// timed out — the worker moves on. Because the audit trail is
+/// thread-local, the watchdog thread opens its own trail and ships it
+/// back with the result so stage events survive the thread hop; a
+/// timed-out analysis necessarily loses its in-flight stage events.
 fn analyze_guarded(
     fixed: Option<&Analyzer>,
     vantage: Vantage,
@@ -579,10 +667,14 @@ fn analyze_guarded(
             }
         }),
         Some(limit) => {
+            let auditing = audit::is_active();
             let (tx, rx) = mpsc::channel();
             let spawned = thread::Builder::new()
                 .name("tcpanaly-watchdog".into())
                 .spawn(move || {
+                    if auditing {
+                        audit::begin("<watchdog>", 0);
+                    }
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         let fixed = match vantage {
                             Vantage::Sender => Some(Analyzer::at_sender()),
@@ -591,7 +683,7 @@ fn analyze_guarded(
                         };
                         analyze_one(fixed.as_ref(), &trace)
                     }));
-                    let _ = tx.send(result.map_err(panic_message));
+                    let _ = tx.send((result.map_err(panic_message), audit::take("")));
                 });
             if spawned.is_err() {
                 return Err(AnalysisError::Io {
@@ -599,8 +691,15 @@ fn analyze_guarded(
                 });
             }
             match rx.recv_timeout(limit) {
-                Ok(Ok(summary)) => Ok(summary),
-                Ok(Err(message)) => Err(AnalysisError::Panicked { message }),
+                Ok((result, inner)) => {
+                    if let Some(inner) = inner {
+                        audit::absorb(inner);
+                    }
+                    match result {
+                        Ok(summary) => Ok(summary),
+                        Err(message) => Err(AnalysisError::Panicked { message }),
+                    }
+                }
                 Err(_) => Err(AnalysisError::Timeout {
                     limit_ms: limit.as_millis() as u64,
                 }),
@@ -610,8 +709,53 @@ fn analyze_guarded(
 }
 
 /// Loads and analyzes one item, converting every failure mode — panic,
-/// I/O, malformed bytes, timeout — into a reported outcome.
+/// I/O, malformed bytes, timeout — into a reported outcome. When
+/// `config.audit_dir` is set, the item's whole trip is recorded into an
+/// audit trail (returned sealed, for the worker to write out).
 fn process_item(
+    config: &CorpusConfig,
+    fixed: Option<&Analyzer>,
+    index: usize,
+    id: &str,
+    input: &TraceInput,
+) -> (ItemOutcome, Option<AuditTrail>) {
+    if config.audit_dir.is_some() {
+        audit::begin(id, index as u64);
+    }
+    let outcome = process_item_inner(config, fixed, input);
+    match &outcome {
+        ItemOutcome::Salvaged { summary, report } => {
+            audit::event(EventKind::Info, "ingest.salvage", report.to_string());
+            audit::event(EventKind::Verdict, "summary", summarize(summary));
+        }
+        ItemOutcome::Analyzed(summary) => {
+            audit::event(EventKind::Verdict, "summary", summarize(summary));
+        }
+        ItemOutcome::Failed(e) => {
+            audit::event(EventKind::Error, e.class(), e.to_string());
+        }
+    }
+    let trail = audit::take(&outcome.name());
+    (outcome, trail)
+}
+
+/// One line of verdict detail for the audit trail.
+fn summarize(s: &ItemSummary) -> String {
+    let fits: Vec<&str> = s
+        .best_fits
+        .iter()
+        .map(|f| f.as_deref().unwrap_or("(no close fit)"))
+        .collect();
+    format!(
+        "{} records, {} connections, best fits [{}], calibration findings {}",
+        s.records,
+        s.connections,
+        fits.join(", "),
+        s.duplicates + s.time_travel + s.resequencing + s.drop_evidence,
+    )
+}
+
+fn process_item_inner(
     config: &CorpusConfig,
     fixed: Option<&Analyzer>,
     input: &TraceInput,
@@ -656,12 +800,16 @@ struct Cursor<S> {
 /// report is marked [`CorpusReport::aborted`].
 pub fn analyze_corpus<S: TraceSource>(source: S, config: &CorpusConfig) -> CorpusReport {
     let jobs = config.effective_jobs().max(1);
+    let total_hint = source.len_hint();
     let cursor = Mutex::new(Cursor {
         source,
         next_index: 0,
     });
     let abort = AtomicBool::new(false);
     let (tx, rx) = mpsc::channel::<ItemReport>();
+    let mut progress = config
+        .progress
+        .map(|interval| Progress::start(total_hint, interval));
 
     let mut items = thread::scope(|scope| {
         for _ in 0..jobs {
@@ -698,7 +846,17 @@ pub fn analyze_corpus<S: TraceSource>(source: S, config: &CorpusConfig) -> Corpu
                         }
                     };
                     let CorpusItem { id, input } = item;
-                    let outcome = process_item(config, fixed.as_ref(), &input);
+                    let (outcome, trail) = process_item(config, fixed.as_ref(), index, &id, &input);
+                    outcome.count_into_metrics();
+                    if let (Some(trail), Some(dir)) = (trail, config.audit_dir.as_deref()) {
+                        if let Err(e) = trail.write_to(dir) {
+                            tcpa_obs::add("corpus.audit.write_errors", 1);
+                            tcpa_obs::log::warn(&format!(
+                                "audit trail for {} not written: {e}",
+                                trail.trace_id
+                            ));
+                        }
+                    }
                     if config.degrade == DegradePolicy::Strict {
                         if let ItemOutcome::Failed(
                             AnalysisError::Malformed { .. } | AnalysisError::Salvaged { .. },
@@ -715,8 +873,18 @@ pub fn analyze_corpus<S: TraceSource>(source: S, config: &CorpusConfig) -> Corpu
         }
         drop(tx);
         // Collect on this thread while workers run; order restored below.
-        rx.into_iter().collect::<Vec<ItemReport>>()
+        let mut collected = Vec::new();
+        for report in rx {
+            if let Some(meter) = &progress {
+                meter.observe(report.outcome.progress_class());
+            }
+            collected.push(report);
+        }
+        collected
     });
+    if let Some(meter) = progress.take() {
+        meter.finish();
+    }
 
     items.sort_unstable_by_key(|r| r.index);
     let mut census = Census::new();
@@ -769,6 +937,64 @@ mod tests {
             report.render().contains("never.pcap"),
             "failure line must name the originating path"
         );
+    }
+
+    #[test]
+    fn transient_io_errors_retry_and_count() {
+        let before = tcpa_obs::registry::global().snapshot();
+        let source = MemorySource::new(vec![tcpa_trace::CorpusItem::flaky(
+            "flaky.pcap",
+            Trace::new(),
+            2,
+        )]);
+        let config = CorpusConfig {
+            jobs: 1,
+            retry_backoff: std::time::Duration::from_millis(1),
+            ..CorpusConfig::default()
+        };
+        let report = analyze_corpus(source, &config);
+        assert_eq!(report.census.analyzed, 1, "{}", report.render());
+        let after = tcpa_obs::registry::global().snapshot().since(&before);
+        assert!(
+            after
+                .counters
+                .get("corpus.io_retries")
+                .copied()
+                .unwrap_or(0)
+                >= 2,
+            "both injected failures must be counted as retries"
+        );
+    }
+
+    #[test]
+    fn audit_trail_records_retries_and_outcome() {
+        let dir = std::env::temp_dir().join(format!("tcpa-audit-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let source = MemorySource::new(vec![
+            tcpa_trace::CorpusItem::flaky("flaky.pcap", Trace::new(), 1),
+            tcpa_trace::CorpusItem::pcap("/nonexistent/never.pcap"),
+        ]);
+        let config = CorpusConfig {
+            jobs: 1,
+            retry_backoff: std::time::Duration::from_millis(1),
+            audit_dir: Some(dir.clone()),
+            ..CorpusConfig::default()
+        };
+        let report = analyze_corpus(source, &config);
+        assert_eq!(report.census.items_total, 2);
+
+        let flaky = std::fs::read_to_string(dir.join("00000-flaky.pcap.json")).expect("trail 0");
+        tcpa_obs::metrics::validate_audit(&flaky).expect("schema-valid trail");
+        assert!(flaky.contains("\"kind\": \"retry\""), "{flaky}");
+        assert!(flaky.contains("\"outcome\": \"analyzed\""), "{flaky}");
+        assert!(flaky.contains("\"kind\": \"verdict\""), "{flaky}");
+
+        let failed =
+            std::fs::read_to_string(dir.join("00001-_nonexistent_never.pcap.json")).expect("t1");
+        tcpa_obs::metrics::validate_audit(&failed).expect("schema-valid trail");
+        assert!(failed.contains("\"outcome\": \"failed.io\""), "{failed}");
+        assert!(failed.contains("\"kind\": \"error\""), "{failed}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub fn classify(analysis: &SenderAnalysis) -> FitClass {
 
 /// Runs one candidate against a connection.
 pub fn fingerprint_one(conn: &Connection, cfg: &TcpConfig) -> Option<FingerprintResult> {
-    let analysis = analyze_sender(conn, cfg)?;
+    // `detail.*` spans are sub-stage detail nested inside
+    // `stage.fingerprint`; they are excluded from stage-coverage sums so
+    // the replay time is not double-counted.
+    let analysis = tcpa_obs::time("detail.sender_replay", || analyze_sender(conn, cfg))?;
     Some(FingerprintResult {
         name: cfg.name,
         fit: classify(&analysis),

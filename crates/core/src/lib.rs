@@ -43,6 +43,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use tcpa_obs as obs;
+
 pub mod calibrate;
 pub mod corpus;
 pub mod fingerprint;

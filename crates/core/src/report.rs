@@ -101,12 +101,21 @@ impl Analyzer {
     }
 
     /// Runs the full pipeline on a trace.
+    ///
+    /// Every stage records a wall-clock span into the global
+    /// [`tcpa_obs`] registry (and into the per-trace audit trail when
+    /// one is active): `stage.calibrate`, `stage.split`, then per
+    /// connection `stage.fingerprint`, `stage.receiver`,
+    /// `stage.receiver_fingerprint`, `stage.handshake`, `stage.stats`,
+    /// all under the umbrella `analyze.total`.
     pub fn analyze(&self, trace: &Trace) -> AnalysisReport {
+        let _total = tcpa_obs::span("analyze.total");
         let calibrator = Calibrator {
             vantage: self.vantage,
         };
-        let (clean, calibration) = calibrator.calibrate(trace);
-        let connections = Connection::split(&clean)
+        let (clean, calibration) =
+            tcpa_obs::time("stage.calibrate", || calibrator.calibrate(trace));
+        let connections = tcpa_obs::time("stage.split", || Connection::split(&clean))
             .into_iter()
             .map(|conn| self.analyze_connection(&conn))
             .collect();
@@ -117,28 +126,29 @@ impl Analyzer {
     }
 
     fn analyze_connection(&self, conn: &Connection) -> ConnectionReport {
-        let fingerprint = match self.vantage {
+        let fingerprint = tcpa_obs::time("stage.fingerprint", || match self.vantage {
             // Sender behavior can only be judged from a vantage at or
             // near the sender (§6.1); from elsewhere, network delay
             // between filter and sender poisons the response delays.
             Vantage::Receiver => Vec::new(),
             _ => fingerprint(conn),
-        };
-        let receiver = match self.vantage {
+        });
+        let receiver = tcpa_obs::time("stage.receiver", || match self.vantage {
             Vantage::Sender => None,
             _ => analyze_receiver(conn),
-        };
-        let receiver_fingerprint = match self.vantage {
-            Vantage::Receiver => fingerprint_receiver(conn),
-            _ => Vec::new(),
-        };
+        });
+        let receiver_fingerprint =
+            tcpa_obs::time("stage.receiver_fingerprint", || match self.vantage {
+                Vantage::Receiver => fingerprint_receiver(conn),
+                _ => Vec::new(),
+            });
         ConnectionReport {
             description: format!("{} -> {}", conn.sender, conn.receiver),
             fingerprint,
             receiver,
             receiver_fingerprint,
-            handshake: analyze_handshake(conn),
-            stats: tcpa_trace::ConnStats::of(conn),
+            handshake: tcpa_obs::time("stage.handshake", || analyze_handshake(conn)),
+            stats: tcpa_obs::time("stage.stats", || tcpa_trace::ConnStats::of(conn)),
         }
     }
 }

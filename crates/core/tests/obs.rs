@@ -1,0 +1,224 @@
+//! Observability contract tests: metrics determinism across worker
+//! counts, census/diagnostic stream separation, schema validity of the
+//! `--metrics-out` / `--audit-dir` output, stage-timing coverage, and
+//! verbosity flags.
+
+use std::process::Command;
+use tcpa_tcpsim::harness::{run_transfer, PathSpec};
+use tcpa_tcpsim::profiles;
+use tcpa_trace::pcap_io;
+use tcpa_wire::TsResolution;
+use tcpanaly::obs::{self, json, metrics};
+
+fn tcpanaly_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tcpanaly"))
+        .args(args)
+        .output()
+        .expect("run tcpanaly");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// A temp directory holding `n` generated pcaps (plus, optionally, the
+/// committed mangled fixtures for salvage-path coverage).
+fn corpus_dir(tag: &str, n: usize, with_mangled: bool) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcpanaly_obs_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for i in 0..n {
+        let out = run_transfer(
+            profiles::reno(),
+            profiles::reno(),
+            &PathSpec::default(),
+            8 * 1024,
+            700 + i as u64,
+        );
+        let file = std::fs::File::create(dir.join(format!("t{i}.pcap"))).unwrap();
+        pcap_io::write_pcap(&out.sender_trace(), file, TsResolution::Micro, 0).unwrap();
+    }
+    if with_mangled {
+        for name in ["corrupt-timestamp.pcap", "oversized-length.pcap"] {
+            std::fs::copy(mangled_dir().join(name), dir.join(format!("zz-{name}"))).unwrap();
+        }
+    }
+    dir
+}
+
+fn mangled_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/mangled")
+}
+
+fn fixtures_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+fn counter(metrics_json: &str, name: &str) -> u64 {
+    let doc = json::Value::parse(metrics_json).expect("parse metrics");
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("counter {name:?} missing from {metrics_json}"))
+}
+
+/// The deterministic part of a metrics file must be byte-identical
+/// whatever the worker count — including a degraded corpus that
+/// exercises the salvage counters.
+#[test]
+fn metrics_deterministic_across_worker_counts() {
+    let dir = corpus_dir("determinism", 4, true);
+    let dir_arg = dir.to_str().unwrap();
+    let mut stripped = Vec::new();
+    for jobs in ["1", "4", "8"] {
+        let out = dir.join(format!("metrics-{jobs}.json"));
+        let (stdout, stderr, code) = tcpanaly_code(&[
+            "--jobs",
+            jobs,
+            "--degrade=salvage",
+            "--metrics-out",
+            out.to_str().unwrap(),
+            dir_arg,
+            "/nonexistent/never.pcap",
+        ]);
+        assert_eq!(code, 1, "one i/o failure expected\n{stdout}\n{stderr}");
+        let text = std::fs::read_to_string(&out).expect("metrics file");
+        metrics::validate_metrics(&text).expect("schema-valid metrics");
+        assert_eq!(counter(&text, "corpus.items_total"), 7, "{text}");
+        assert_eq!(counter(&text, "corpus.salvaged"), 2, "{text}");
+        assert_eq!(counter(&text, "corpus.failed.io"), 1, "{text}");
+        // The full failure vocabulary is declared even when untouched.
+        assert_eq!(counter(&text, "corpus.io_retries"), 0, "{text}");
+        assert_eq!(counter(&text, "corpus.failed.panic"), 0, "{text}");
+        assert!(counter(&text, "corpus.salvage.bytes_skipped") > 0, "{text}");
+        stripped.push(metrics::strip_wall_clock(&text).expect("strip"));
+    }
+    assert_eq!(
+        stripped[0], stripped[1],
+        "metrics (minus wall_clock) must not depend on worker count"
+    );
+    assert_eq!(stripped[1], stripped[2]);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `--progress` and the leveled logger write strictly to stderr: the
+/// census on stdout stays byte-identical.
+#[test]
+fn progress_never_touches_stdout() {
+    let dir = corpus_dir("streams", 3, false);
+    let dir_arg = dir.to_str().unwrap();
+    let (plain, _, code) = tcpanaly_code(&["--jobs", "2", dir_arg]);
+    assert_eq!(code, 0);
+    let (with_progress, stderr, code) =
+        tcpanaly_code(&["--jobs", "2", "--progress", "-v", dir_arg]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        plain, with_progress,
+        "census must be byte-identical with --progress active"
+    );
+    assert!(
+        stderr.contains("progress 3/3 traces"),
+        "final progress line expected on stderr: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `--metrics-out` + `--audit-dir` over the committed fixtures (clean
+/// and mangled): every produced document validates against its schema.
+#[test]
+fn fixture_run_produces_schema_valid_documents() {
+    let out_root = std::env::temp_dir().join(format!("tcpanaly_obs_schema_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_root);
+    std::fs::create_dir_all(&out_root).unwrap();
+    let metrics_path = out_root.join("metrics.json");
+    let audit_dir = out_root.join("audit");
+    let (stdout, stderr, code) = tcpanaly_code(&[
+        "--jobs",
+        "2",
+        "--degrade=salvage",
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "--audit-dir",
+        audit_dir.to_str().unwrap(),
+        fixtures_dir().to_str().unwrap(),
+        mangled_dir().to_str().unwrap(),
+    ]);
+    // Some mangled fixtures recover nothing even under salvage → failed
+    // items → exit 1; the run itself must still complete.
+    assert!(code == 0 || code == 1, "{stdout}\n{stderr}");
+
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics file");
+    metrics::validate_metrics(&text).expect("schema-valid metrics");
+    let items = counter(&text, "corpus.items_total");
+    assert!(items >= 11, "fixtures + mangled fixtures, got {items}");
+
+    let mut audited = 0;
+    for entry in std::fs::read_dir(&audit_dir).expect("audit dir") {
+        let path = entry.unwrap().path();
+        let trail = std::fs::read_to_string(&path).unwrap();
+        metrics::validate_audit(&trail)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{trail}", path.display()));
+        audited += 1;
+    }
+    assert_eq!(audited as u64, items, "one audit trail per corpus item");
+    let _ = std::fs::remove_dir_all(out_root);
+}
+
+/// The per-stage histograms must account for ≥95% of the total analysis
+/// wall clock — i.e. the instrumentation has no large blind spots.
+#[test]
+fn stage_histograms_cover_analysis_time() {
+    let out = run_transfer(
+        profiles::solaris_2_4(),
+        profiles::reno(),
+        &PathSpec::default(),
+        200 * 1024,
+        710,
+    );
+    let trace = out.sender_trace();
+    let before = obs::registry::global().snapshot();
+    let _report = tcpanaly::Analyzer::at_sender().analyze(&trace);
+    let delta = obs::registry::global().snapshot().since(&before);
+
+    let total = delta.stage_total_ns(&["analyze.total"]);
+    assert!(total > 0, "analyze.total must be recorded");
+    let staged: u64 = delta
+        .stages
+        .iter()
+        .filter(|(name, _)| name.starts_with("stage."))
+        .map(|(_, h)| h.sum())
+        .sum();
+    assert!(
+        staged as f64 >= 0.95 * total as f64,
+        "stage.* histograms cover {staged} of {total} ns ({:.1}%)",
+        100.0 * staged as f64 / total as f64
+    );
+    // Nested detail must not be double-counted into coverage.
+    assert!(delta.stages.contains_key("detail.sender_replay"));
+}
+
+/// Verbosity flags gate the stderr diagnostics; errors always print.
+#[test]
+fn verbosity_flags_gate_stderr() {
+    let dir = corpus_dir("verbosity", 2, false);
+    let dir_arg = dir.to_str().unwrap();
+    let (_, stderr, code) = tcpanaly_code(&["--jobs", "1", dir_arg]);
+    assert_eq!(code, 0);
+    assert!(
+        stderr.is_empty(),
+        "healthy run must keep stderr clean: {stderr}"
+    );
+    let (_, stderr, code) = tcpanaly_code(&["--jobs", "1", "-v", dir_arg]);
+    assert_eq!(code, 0);
+    assert!(
+        stderr.contains("batch mode: 2 traces"),
+        "-v must echo configuration: {stderr}"
+    );
+    let (_, stderr, code) = tcpanaly_code(&["--quiet", "/nonexistent/never.pcap"]);
+    assert_eq!(code, 1);
+    assert!(
+        stderr.contains("never.pcap"),
+        "errors print even under --quiet: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,281 @@
+//! Metrics exposition — the versioned `tcpa-metrics/v1` JSON schema.
+//!
+//! The document has exactly two parts:
+//!
+//! ```json
+//! {
+//!   "schema": "tcpa-metrics/v1",
+//!   "counters": { "<name>": <u64>, ... },
+//!   "wall_clock": {
+//!     "elapsed_secs": <float>,
+//!     "stages": {
+//!       "<stage>": { "count": n, "total_ns": ..., "p50_ns": ...,
+//!                     "p90_ns": ..., "p99_ns": ..., "max_ns": ... },
+//!       ...
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! **Determinism contract:** everything *outside* the top-level
+//! `wall_clock` member depends only on the corpus and configuration —
+//! same input, byte-identical, whatever the worker count. Everything
+//! timing-dependent (stage histograms included — their *counts* are
+//! deterministic but their bucket contents are wall time) lives under
+//! `wall_clock`. [`strip_wall_clock`] removes that member for
+//! comparisons.
+
+use crate::hist::LogHistogram;
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// The metrics document schema identifier.
+pub const METRICS_SCHEMA: &str = "tcpa-metrics/v1";
+
+/// The audit-trail document schema identifier.
+pub const AUDIT_SCHEMA: &str = "tcpa-audit/v1";
+
+/// A point-in-time copy of a [`crate::Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Stage duration histograms by name.
+    pub stages: BTreeMap<&'static str, LogHistogram>,
+}
+
+impl MetricsSnapshot {
+    /// The difference `self - earlier`, for measuring one phase of a
+    /// longer run (both must come from the same registry).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| {
+                (
+                    k,
+                    v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let stages = self
+            .stages
+            .iter()
+            .map(|(&k, h)| match earlier.stages.get(k) {
+                Some(prev) => (k, h.since(prev)),
+                None => (k, h.clone()),
+            })
+            .collect();
+        MetricsSnapshot { counters, stages }
+    }
+
+    /// Sum of recorded nanoseconds across the given stage names.
+    pub fn stage_total_ns(&self, names: &[&str]) -> u64 {
+        names
+            .iter()
+            .filter_map(|n| self.stages.get(n))
+            .map(LogHistogram::sum)
+            .sum()
+    }
+
+    /// The `wall_clock.stages` object for this snapshot.
+    fn stages_object(&self) -> Value {
+        Value::Obj(
+            self.stages
+                .iter()
+                .map(|(name, h)| (name.to_string(), hist_object(h)))
+                .collect(),
+        )
+    }
+
+    /// Renders the full `tcpa-metrics/v1` document. `elapsed_secs` is
+    /// the run's wall clock as measured by the caller.
+    pub fn to_json(&self, elapsed_secs: f64) -> String {
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str(METRICS_SCHEMA.into())),
+            ("counters".into(), json::counters_object(&self.counters)),
+            (
+                "wall_clock".into(),
+                Value::Obj(vec![
+                    (
+                        "elapsed_secs".into(),
+                        Value::Num(format!("{elapsed_secs:.6}")),
+                    ),
+                    ("stages".into(), self.stages_object()),
+                ]),
+            ),
+        ]);
+        doc.to_json()
+    }
+}
+
+/// One histogram as its exposition object.
+fn hist_object(h: &LogHistogram) -> Value {
+    let num = |v: u64| Value::Num(v.to_string());
+    Value::Obj(vec![
+        ("count".into(), num(h.count())),
+        ("total_ns".into(), num(h.sum())),
+        ("p50_ns".into(), num(h.percentile(50.0))),
+        ("p90_ns".into(), num(h.percentile(90.0))),
+        ("p99_ns".into(), num(h.percentile(99.0))),
+        ("max_ns".into(), num(h.max())),
+    ])
+}
+
+/// Returns the document with the top-level `wall_clock` member removed —
+/// the deterministic part of a metrics file, re-serialized canonically.
+pub fn strip_wall_clock(metrics_json: &str) -> Result<String, String> {
+    let doc = Value::parse(metrics_json)?;
+    Ok(doc.without_key("wall_clock").to_json())
+}
+
+fn require<'a>(obj: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what}: missing {key:?}"))
+}
+
+fn require_u64(obj: &Value, key: &str, what: &str) -> Result<u64, String> {
+    require(obj, key, what)?
+        .as_u64()
+        .ok_or_else(|| format!("{what}: {key:?} is not a non-negative integer"))
+}
+
+/// Validates a `tcpa-metrics/v1` document, returning the first problem.
+pub fn validate_metrics(text: &str) -> Result<(), String> {
+    let doc = Value::parse(text)?;
+    match require(&doc, "schema", "metrics")?.as_str() {
+        Some(METRICS_SCHEMA) => {}
+        other => {
+            return Err(format!(
+                "metrics: schema {other:?}, want {METRICS_SCHEMA:?}"
+            ))
+        }
+    }
+    let counters = require(&doc, "counters", "metrics")?
+        .as_obj()
+        .ok_or("metrics: counters is not an object")?;
+    for (name, value) in counters {
+        value
+            .as_u64()
+            .ok_or_else(|| format!("metrics: counter {name:?} is not a non-negative integer"))?;
+    }
+    let wall = require(&doc, "wall_clock", "metrics")?;
+    require(wall, "elapsed_secs", "metrics.wall_clock")?
+        .as_f64()
+        .ok_or("metrics: elapsed_secs is not a number")?;
+    let stages = require(wall, "stages", "metrics.wall_clock")?
+        .as_obj()
+        .ok_or("metrics: stages is not an object")?;
+    for (name, stage) in stages {
+        let what = format!("metrics stage {name:?}");
+        for field in ["count", "total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            require_u64(stage, field, &what)?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `tcpa-audit/v1` document, returning the first problem.
+pub fn validate_audit(text: &str) -> Result<(), String> {
+    let doc = Value::parse(text)?;
+    match require(&doc, "schema", "audit")?.as_str() {
+        Some(AUDIT_SCHEMA) => {}
+        other => return Err(format!("audit: schema {other:?}, want {AUDIT_SCHEMA:?}")),
+    }
+    require(&doc, "trace", "audit")?
+        .as_str()
+        .ok_or("audit: trace is not a string")?;
+    require_u64(&doc, "index", "audit")?;
+    require(&doc, "outcome", "audit")?
+        .as_str()
+        .ok_or("audit: outcome is not a string")?;
+    require_u64(&doc, "events_dropped", "audit")?;
+    let wall = require(&doc, "wall_clock", "audit")?;
+    require_u64(wall, "total_ns", "audit.wall_clock")?;
+    let events = require(&doc, "events", "audit")?
+        .as_arr()
+        .ok_or("audit: events is not an array")?;
+    for (i, event) in events.iter().enumerate() {
+        let what = format!("audit event {i}");
+        let seq = require_u64(event, "seq", &what)?;
+        if seq != i as u64 {
+            return Err(format!("{what}: seq {seq} out of order"));
+        }
+        match require(event, "kind", &what)?.as_str() {
+            Some("stage" | "retry" | "error" | "verdict" | "info") => {}
+            other => return Err(format!("{what}: unknown kind {other:?}")),
+        }
+        require(event, "name", &what)?
+            .as_str()
+            .ok_or_else(|| format!("{what}: name is not a string"))?;
+        require(event, "detail", &what)?
+            .as_str()
+            .ok_or_else(|| format!("{what}: detail is not a string"))?;
+        if let Some(dur) = event.get("dur_ns") {
+            dur.as_u64()
+                .ok_or_else(|| format!("{what}: dur_ns is not a non-negative integer"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use std::time::Duration;
+
+    fn sample() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.add("corpus.analyzed", 3);
+        r.declare("corpus.io_retries");
+        r.record("stage.calibrate", Duration::from_micros(120));
+        r.record("stage.calibrate", Duration::from_micros(80));
+        r.record("analyze.total", Duration::from_micros(250));
+        r.snapshot()
+    }
+
+    #[test]
+    fn exposition_validates_and_strips() {
+        let json = sample().to_json(1.25);
+        validate_metrics(&json).expect("valid metrics document");
+        let stripped = strip_wall_clock(&json).expect("strip");
+        assert!(stripped.contains("corpus.analyzed"));
+        assert!(!stripped.contains("wall_clock"));
+        assert!(!stripped.contains("elapsed_secs"));
+        // Stripping is idempotent.
+        assert_eq!(strip_wall_clock(&stripped).unwrap(), stripped);
+    }
+
+    #[test]
+    fn validators_reject_wrong_schema_and_shape() {
+        assert!(validate_metrics("{}").is_err());
+        assert!(validate_metrics(r#"{"schema": "nope"}"#).is_err());
+        let mut json = sample().to_json(0.0);
+        json = json.replace("\"count\"", "\"qount\"");
+        assert!(validate_metrics(&json).is_err());
+        assert!(validate_audit(r#"{"schema": "tcpa-audit/v2"}"#).is_err());
+    }
+
+    #[test]
+    fn since_isolates_a_phase() {
+        let r = Registry::new();
+        r.add("n", 1);
+        r.record("stage.x", Duration::from_nanos(100));
+        let early = r.snapshot();
+        r.add("n", 4);
+        r.record("stage.x", Duration::from_nanos(900));
+        let delta = r.snapshot().since(&early);
+        assert_eq!(delta.counters.get("n"), Some(&4));
+        let h = delta.stages.get("stage.x").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 900);
+    }
+
+    #[test]
+    fn stage_total_sums_named_stages() {
+        let snap = sample();
+        let total = snap.stage_total_ns(&["stage.calibrate", "missing"]);
+        assert_eq!(total, 200_000);
+    }
+}

@@ -1,0 +1,148 @@
+//! The process-wide metrics registry: named counters and duration
+//! histograms behind mutexes.
+//!
+//! Metric names are `&'static str` on purpose: the set of stages and
+//! counters is a closed, code-defined vocabulary (dynamic labels would
+//! make the exposition schema unstable). Counters are plain sums and
+//! histograms merge by bucket addition, so a snapshot's deterministic
+//! part is identical whatever the worker count or completion order.
+
+use crate::hist::LogHistogram;
+use crate::metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A set of named counters and duration histograms.
+///
+/// Most callers use the process-wide [`global`] instance; tests that
+/// need isolation can construct their own.
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    durations: Mutex<BTreeMap<&'static str, LogHistogram>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Registry {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            durations: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds `n` to the counter `name` (creating it at 0).
+    pub fn add(&self, name: &'static str, n: u64) {
+        let mut counters = lock_recover(&self.counters);
+        *counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Ensures the counter `name` exists (at 0) so rarely-hit counters
+    /// still appear in every exposition with a stable value.
+    pub fn declare(&self, name: &'static str) {
+        let mut counters = lock_recover(&self.counters);
+        counters.entry(name).or_insert(0);
+    }
+
+    /// Reads a counter's current value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock_recover(&self.counters).get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a duration into the histogram `name`.
+    pub fn record(&self, name: &'static str, duration: Duration) {
+        let nanos = duration.as_nanos().min(u64::MAX as u128) as u64;
+        let mut durations = lock_recover(&self.durations);
+        durations.entry(name).or_default().record(nanos);
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock_recover(&self.counters).clone(),
+            stages: lock_recover(&self.durations).clone(),
+        }
+    }
+
+    /// Clears every counter and histogram (test isolation).
+    pub fn reset(&self) {
+        lock_recover(&self.counters).clear();
+        lock_recover(&self.durations).clear();
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: metrics must never cascade
+/// a panic from an unrelated thread.
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide registry every span and counter hook records into.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Adds to a counter in the global registry (convenience).
+pub fn add(name: &'static str, n: u64) {
+    GLOBAL.add(name, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_declare_is_zero() {
+        let r = Registry::new();
+        r.add("x", 2);
+        r.add("x", 3);
+        r.declare("y");
+        assert_eq!(r.counter("x"), 5);
+        assert_eq!(r.counter("y"), 0);
+        assert_eq!(r.counter("never"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("x"), Some(&5));
+        assert_eq!(snap.counters.get("y"), Some(&0));
+    }
+
+    #[test]
+    fn durations_land_in_histograms() {
+        let r = Registry::new();
+        r.record("stage.a", Duration::from_nanos(100));
+        r.record("stage.a", Duration::from_nanos(200));
+        let snap = r.snapshot();
+        let h = snap.stages.get("stage.a").expect("histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 300);
+        r.reset();
+        assert!(r.snapshot().stages.is_empty());
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = &r;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("n"), 8000);
+    }
+}

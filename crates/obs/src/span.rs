@@ -1,0 +1,77 @@
+//! RAII stage spans.
+//!
+//! A [`Span`] measures the wall-clock time of one pipeline stage with a
+//! monotonic clock. On drop it records the duration into the global
+//! registry's histogram for the stage and — when a per-trace audit trail
+//! is active on this thread — appends a `stage` event to it. This is the
+//! only instrumentation call sites need:
+//!
+//! ```
+//! let result = tcpa_obs::time("stage.calibrate", || 2 + 2);
+//! assert_eq!(result, 4);
+//! ```
+
+use crate::{audit, registry};
+use std::time::Instant;
+
+/// An in-flight stage timer; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    detail: String,
+}
+
+impl Span {
+    /// Starts timing `name` now.
+    pub fn start(name: &'static str) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+            detail: String::new(),
+        }
+    }
+
+    /// Attaches a human-readable note carried into the audit event
+    /// (ignored by the metrics histogram).
+    pub fn note(&mut self, detail: impl Into<String>) {
+        self.detail = detail.into();
+    }
+
+    /// The stage name this span records under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        registry::global().record(self.name, elapsed);
+        audit::stage_event(self.name, elapsed, std::mem::take(&mut self.detail));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_global_registry() {
+        let before = registry::global().snapshot();
+        {
+            let mut s = Span::start("stage.test_span");
+            s.note("noted");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let after = registry::global().snapshot();
+        let h = after.stages.get("stage.test_span").expect("recorded");
+        let earlier = before
+            .stages
+            .get("stage.test_span")
+            .map(|h| h.count())
+            .unwrap_or(0);
+        assert_eq!(h.count(), earlier + 1);
+        assert!(h.sum() >= 1_000_000, "slept ≥1ms");
+    }
+}

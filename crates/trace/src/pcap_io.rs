@@ -86,6 +86,7 @@ pub fn write_pcap<W: Write>(
 /// TCP header itself is truncated by the snap length are skipped too, with
 /// their count returned alongside the trace.
 pub fn read_pcap<R: Read>(input: R) -> Result<(Trace, usize), PcapError> {
+    let _span = tcpa_obs::span("ingest.read");
     let mut reader = PcapReader::new(input)?;
     if reader.linktype() != LINKTYPE_ETHERNET {
         return Err(PcapError::UnsupportedLinkType {
@@ -100,6 +101,9 @@ pub fn read_pcap<R: Read>(input: R) -> Result<(Trace, usize), PcapError> {
             None => skipped += 1,
         }
     }
+    tcpa_obs::add("ingest.reads", 1);
+    tcpa_obs::add("ingest.frames", trace.len() as u64);
+    tcpa_obs::add("ingest.frames_skipped", skipped as u64);
     Ok((trace, skipped))
 }
 
@@ -214,6 +218,7 @@ impl core::fmt::Display for IngestReport {
 /// for in the returned [`IngestReport`]; whatever TCP frames survive are
 /// decoded exactly as [`read_pcap`] would.
 pub fn read_pcap_salvage_bytes(bytes: &[u8]) -> (Trace, IngestReport) {
+    let _span = tcpa_obs::span("ingest.salvage");
     let (records, summary) = salvage_records(bytes);
     let mut trace = Trace::new();
     let mut frames_skipped = 0usize;
@@ -232,6 +237,13 @@ pub fn read_pcap_salvage_bytes(bytes: &[u8]) -> (Trace, IngestReport) {
         header_assumed: summary.header_assumed,
         damage: summary.damage,
     };
+    tcpa_obs::add("ingest.salvage_reads", 1);
+    tcpa_obs::add("ingest.frames", trace.len() as u64);
+    tcpa_obs::add("ingest.frames_skipped", frames_skipped as u64);
+    tcpa_obs::add("ingest.bytes_total", report.bytes_total);
+    tcpa_obs::add("ingest.bytes_skipped", report.bytes_skipped);
+    tcpa_obs::add("ingest.damage_regions", report.damage.len() as u64);
+    tcpa_obs::add("ingest.headers_assumed", report.header_assumed as u64);
     (trace, report)
 }
 

@@ -38,6 +38,17 @@ pub enum TraceInput {
     /// panic-isolation guarantee (one poisoned trace must cost one item,
     /// not the whole run) stays testable without a real analyzer bug.
     Poison,
+    /// Fault injection: the first `remaining` loads fail with a
+    /// *transient* I/O error (interrupted), after which the trace loads
+    /// normally. Exists so the pipeline's retry path — and its retry
+    /// accounting — stays testable without real flaky storage. Clones
+    /// share the countdown.
+    Flaky {
+        /// Failures left to inject; decremented per load attempt.
+        remaining: Arc<std::sync::atomic::AtomicU32>,
+        /// The trace yielded once the failures are exhausted.
+        trace: Trace,
+    },
 }
 
 impl CorpusItem {
@@ -71,6 +82,18 @@ impl CorpusItem {
         CorpusItem {
             id: id.into(),
             input: TraceInput::Poison,
+        }
+    }
+
+    /// An item whose first `failures` loads fail transiently before the
+    /// trace loads (fault injection for retry-path tests).
+    pub fn flaky(id: impl Into<String>, trace: Trace, failures: u32) -> CorpusItem {
+        CorpusItem {
+            id: id.into(),
+            input: TraceInput::Flaky {
+                remaining: Arc::new(std::sync::atomic::AtomicU32::new(failures)),
+                trace,
+            },
         }
     }
 }
@@ -158,6 +181,23 @@ impl TraceInput {
             }
             TraceInput::PcapBytes(bytes) => decode_bytes(bytes, mode, "<memory capture>"),
             TraceInput::Poison => panic!("poisoned corpus item loaded"),
+            TraceInput::Flaky { remaining, trace } => {
+                use std::sync::atomic::Ordering;
+                let injected = remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok();
+                if injected {
+                    Err(LoadError::Io {
+                        kind: ErrorKind::Interrupted,
+                        detail: "injected transient i/o failure".into(),
+                    })
+                } else {
+                    Ok(Loaded {
+                        trace: trace.clone(),
+                        salvage: None,
+                    })
+                }
+            }
         }
     }
 
@@ -311,6 +351,22 @@ mod tests {
     #[should_panic(expected = "poisoned corpus item")]
     fn poison_panics_on_load() {
         let _ = CorpusItem::poison("bad").input.load();
+    }
+
+    #[test]
+    fn flaky_fails_transiently_then_loads() {
+        let item = CorpusItem::flaky("flaky", Trace::new(), 2);
+        for _ in 0..2 {
+            match item.input.load_mode(LoadMode::Strict) {
+                Err(e @ LoadError::Io { kind, .. }) => {
+                    assert_eq!(kind, ErrorKind::Interrupted);
+                    assert!(e.is_transient());
+                }
+                other => panic!("expected transient Io error, got {other:?}"),
+            }
+        }
+        assert!(item.input.load_mode(LoadMode::Strict).is_ok());
+        assert!(item.input.load_mode(LoadMode::Salvage).is_ok());
     }
 
     #[test]
