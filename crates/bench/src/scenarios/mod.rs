@@ -8,6 +8,7 @@ pub mod figures;
 pub mod fingerprints;
 pub mod policy;
 pub mod robustness;
+pub mod static_analysis;
 pub mod table1;
 pub mod variants;
 
@@ -39,6 +40,7 @@ pub fn entries() -> Vec<(&'static str, ScenarioFn)> {
         ("ablation", ablation::run),
         ("corpus", corpus::run),
         ("robustness", robustness::run),
+        ("static_analysis", static_analysis::run),
     ]
 }
 

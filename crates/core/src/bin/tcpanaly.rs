@@ -38,6 +38,7 @@ use tcpanaly::corpus::{analyze_corpus, CorpusConfig, DegradePolicy};
 use tcpanaly::fingerprint::{fingerprint_one, fingerprint_receiver};
 use tcpanaly::handshake::analyze_handshake;
 use tcpanaly::obs::{self, audit, log};
+use tcpanaly::report::emit_stdout;
 use tcpanaly::Analyzer;
 
 struct Options {
@@ -149,25 +150,32 @@ fn parse_args() -> Result<Options, String> {
             "--receiver-fingerprint" => opts.receiver_fp = true,
             "--list-impls" => {
                 for p in all_profiles() {
-                    println!("{:<22} ({})", p.name, p.lineage);
+                    emit_stdout(&format!("{:<22} ({})\n", p.name, p.lineage));
                 }
                 std::process::exit(0);
             }
             "--help" | "-h" => {
-                print!("{USAGE}");
+                emit_stdout(USAGE);
                 std::process::exit(0);
             }
             other if other.starts_with("--degrade=") => {
-                opts.degrade = other["--degrade=".len()..].parse()?;
+                opts.degrade = other
+                    .strip_prefix("--degrade=")
+                    .unwrap_or_default()
+                    .parse()?;
             }
             other if other.starts_with("--metrics-out=") => {
-                opts.metrics_out = Some(PathBuf::from(&other["--metrics-out=".len()..]));
+                opts.metrics_out = Some(PathBuf::from(
+                    other.strip_prefix("--metrics-out=").unwrap_or_default(),
+                ));
             }
             other if other.starts_with("--audit-dir=") => {
-                opts.audit_dir = Some(PathBuf::from(&other["--audit-dir=".len()..]));
+                opts.audit_dir = Some(PathBuf::from(
+                    other.strip_prefix("--audit-dir=").unwrap_or_default(),
+                ));
             }
             other if other.starts_with("--timeout-secs=") => {
-                let n = &other["--timeout-secs=".len()..];
+                let n = other.strip_prefix("--timeout-secs=").unwrap_or_default();
                 let n: u64 = n
                     .parse()
                     .map_err(|_| format!("--timeout-secs: invalid count {n:?}"))?;
@@ -251,7 +259,7 @@ fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
     std::panic::set_hook(Box::new(|_| {}));
     let report = analyze_corpus(MemorySource::from_pcap_files(paths), &config);
     std::panic::set_hook(prior_hook);
-    print!("{}", report.render());
+    emit_stdout(&report.render());
     if report.aborted {
         if let Some(first) = report.first_failure() {
             log::error(&format!(
@@ -287,16 +295,16 @@ fn analyze_file(path: &str, opts: &Options) -> Result<(), FileFailure> {
     let trace = match opts.degrade {
         DegradePolicy::Salvage => {
             let (trace, report) = pcap_io::read_pcap_salvage_bytes(&bytes);
-            println!("== {path}: {report}");
+            emit_stdout(&format!("== {path}: {report}\n"));
             trace
         }
         DegradePolicy::Strict | DegradePolicy::Skip => {
             match pcap_io::read_pcap(std::io::Cursor::new(bytes.as_slice())) {
                 Ok((trace, skipped)) => {
-                    println!(
-                        "== {path}: {} records ({skipped} non-TCP skipped)",
+                    emit_stdout(&format!(
+                        "== {path}: {} records ({skipped} non-TCP skipped)\n",
                         trace.len()
-                    );
+                    ));
                     trace
                 }
                 Err(tcpa_wire::pcap::PcapError::Io(e)) => {
@@ -320,10 +328,10 @@ fn analyze_file(path: &str, opts: &Options) -> Result<(), FileFailure> {
         Vantage::Receiver => Analyzer::at_receiver(),
         Vantage::Unknown => {
             let a = Analyzer::auto(&trace);
-            println!(
-                "vantage: auto-detected {:?} (override with --sender/--receiver)",
+            emit_stdout(&format!(
+                "vantage: auto-detected {:?} (override with --sender/--receiver)\n",
                 a.vantage()
-            );
+            ));
             a
         }
     };
@@ -335,22 +343,25 @@ fn analyze_file(path: &str, opts: &Options) -> Result<(), FileFailure> {
         })?;
         let (clean, cal) = tcpanaly::Calibrator::new().calibrate(&trace);
         if !cal.is_clean() {
-            println!(
-                "calibration: {} dups removed, {} time travel, {} reseq, {} drop evidence",
+            emit_stdout(&format!(
+                "calibration: {} dups removed, {} time travel, {} reseq, {} drop evidence\n",
                 cal.duplicates.len(),
                 cal.time_travel.len(),
                 cal.resequencing.len(),
                 cal.drop_evidence.len()
-            );
+            ));
         }
         for conn in Connection::split(&clean) {
-            println!("-- connection {} -> {}", conn.sender, conn.receiver);
+            emit_stdout(&format!(
+                "-- connection {} -> {}\n",
+                conn.sender, conn.receiver
+            ));
             match fingerprint_one(&conn, &cfg) {
-                None => println!("   no analyzable bulk data"),
+                None => emit_stdout("   no analyzable bulk data\n"),
                 Some(fit) => {
                     let mut delays = fit.analysis.response_delays.clone();
-                    println!(
-                        "   {}: {} — {} issues, delays p50 {} p90 {}",
+                    emit_stdout(&format!(
+                        "   {}: {} — {} issues, delays p50 {} p90 {}\n",
                         cfg.name,
                         fit.fit,
                         fit.analysis.issues.len(),
@@ -359,12 +370,15 @@ fn analyze_file(path: &str, opts: &Options) -> Result<(), FileFailure> {
                             .percentile(90.0)
                             .map(|d| d.to_string())
                             .unwrap_or_default()
-                    );
+                    ));
                     for issue in fit.analysis.issues.iter().take(10) {
-                        println!("   {:?} @{}: {}", issue.kind, issue.time, issue.detail);
+                        emit_stdout(&format!(
+                            "   {:?} @{}: {}\n",
+                            issue.kind, issue.time, issue.detail
+                        ));
                     }
                     if fit.analysis.issues.len() > 10 {
-                        println!("   … {} more", fit.analysis.issues.len() - 10);
+                        emit_stdout(&format!("   … {} more\n", fit.analysis.issues.len() - 10));
                     }
                 }
             }
@@ -373,15 +387,15 @@ fn analyze_file(path: &str, opts: &Options) -> Result<(), FileFailure> {
     }
 
     let report = analyzer.analyze(&trace);
-    print!("{}", report.render());
+    emit_stdout(&report.render());
 
     if opts.handshake || opts.receiver_fp {
         let (clean, _) = tcpanaly::Calibrator::new().calibrate(&trace);
         for conn in Connection::split(&clean) {
             if opts.handshake {
                 match analyze_handshake(&conn) {
-                    Some(h) => println!(
-                        "handshake {} -> {}: {} retries, initial RTO {}, backoff {:?}",
+                    Some(h) => emit_stdout(&format!(
+                        "handshake {} -> {}: {} retries, initial RTO {}, backoff {:?}\n",
                         conn.sender,
                         conn.receiver,
                         h.retries(),
@@ -389,22 +403,22 @@ fn analyze_file(path: &str, opts: &Options) -> Result<(), FileFailure> {
                             .map(|d| d.to_string())
                             .unwrap_or_else(|| "-".into()),
                         h.shape
-                    ),
-                    None => println!("handshake: no SYN captured"),
+                    )),
+                    None => emit_stdout("handshake: no SYN captured\n"),
                 }
             }
             if opts.receiver_fp {
-                println!("receiver-side candidates (consistent first):");
+                emit_stdout("receiver-side candidates (consistent first):\n");
                 for fit in fingerprint_receiver(&conn).iter().take(8) {
-                    println!(
-                        "  {:<22} {}",
+                    emit_stdout(&format!(
+                        "  {:<22} {}\n",
                         fit.name,
                         if fit.consistent {
                             "consistent".to_string()
                         } else {
                             format!("contradicted: {}", fit.contradictions.join("; "))
                         }
-                    );
+                    ));
                 }
             }
         }
@@ -472,6 +486,7 @@ fn write_metrics(path: &Path, started: Instant) -> std::io::Result<()> {
 }
 
 fn main() -> ExitCode {
+    // tcpa-lint: allow(determinism-hazards) -- wall-clock here only feeds the metrics wall_clock gauge, which is outside the byte-stability contract
     let started = Instant::now();
     log::set_program("tcpanaly");
     let opts = match parse_args() {

@@ -567,18 +567,17 @@ impl CorpusReport {
         if c.unidentified > 0 {
             let _ = writeln!(out, "  {:<26} {}", "(no close fit)", c.unidentified);
         }
-        let failures: Vec<&ItemReport> = self
+        let failures: Vec<(&ItemReport, String)> = self
             .items
             .iter()
-            .filter(|r| !r.outcome.is_success())
+            .filter_map(|r| match &r.outcome {
+                ItemOutcome::Failed(e) => Some((r, e.to_string())),
+                _ => None,
+            })
             .collect();
         if !failures.is_empty() {
             let _ = writeln!(out, "  failed items:");
-            for r in failures {
-                let what = match &r.outcome {
-                    ItemOutcome::Failed(e) => e.to_string(),
-                    _ => unreachable!("filtered to failures"),
-                };
+            for (r, what) in failures {
                 let _ = writeln!(out, "    [{:>4}] {}: {}", r.index, r.id, what);
             }
         }

@@ -330,7 +330,10 @@ fn segment_yardstick(conn: &Connection) -> Option<u32> {
     if let Some(mss) = conn.negotiated_mss() {
         return Some(u32::from(mss));
     }
-    let mut sizes: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    // BTreeMap so the modal-size tie-break is deterministic: iteration is
+    // size-ascending and `max_by_key` keeps the last maximum, so ties
+    // resolve to the largest segment size on every run.
+    let mut sizes: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
     for rec in conn.in_dir(Dir::SenderToReceiver).filter(|r| r.is_data()) {
         *sizes.entry(rec.payload_len).or_insert(0) += 1;
     }
@@ -382,6 +385,7 @@ fn find_corrupt_arrivals(conn: &Connection) -> Vec<usize> {
         // emitting an ack for exactly this packet's first byte well after
         // the packet arrived.
         let long_silence = records[j].1.ts - rec.ts > Duration::from_millis(500);
+        // tcpa-lint: allow(no-unwrap-in-analyzer) -- i + 1 <= j < records.len(): j came from enumerate().skip(i + 1) over records
         let disclaimed = records[i + 1..j].iter().any(|(dir2, rec2)| {
             *dir2 == Dir::ReceiverToSender
                 && rec2.tcp.flags.ack()
@@ -391,9 +395,11 @@ fn find_corrupt_arrivals(conn: &Connection) -> Vec<usize> {
         if !long_silence && !disclaimed {
             continue;
         }
+        // tcpa-lint: allow(no-unwrap-in-analyzer) -- i + 1 <= j < records.len(): j came from enumerate().skip(i + 1) over records
         let acked_between = records[i + 1..j].iter().any(|(dir2, rec2)| {
             *dir2 == Dir::ReceiverToSender && rec2.tcp.flags.ack() && rec2.tcp.ack.at_or_after(hi)
         });
+        // tcpa-lint: allow(no-unwrap-in-analyzer) -- j < records.len() by the same enumerate bound
         let acked_after = records[j..].iter().any(|(dir2, rec2)| {
             *dir2 == Dir::ReceiverToSender && rec2.tcp.flags.ack() && rec2.tcp.ack.at_or_after(hi)
         });

@@ -153,6 +153,17 @@ impl Analyzer {
     }
 }
 
+/// The census writer's single stdout choke point. Everything tcpanaly
+/// prints to stdout — census tables, reports, usage — goes through this
+/// one call, so the byte-stability contract has exactly one site to
+/// audit and the `no-raw-eprintln` lint exactly one call to whitelist.
+/// Diagnostics do NOT belong here; route them through the `tcpa_obs`
+/// logger, which owns stderr.
+pub fn emit_stdout(text: &str) {
+    // tcpa-lint: allow(no-raw-eprintln) -- the one sanctioned stdout write: every census/report byte funnels through here
+    print!("{text}");
+}
+
 impl AnalysisReport {
     /// Renders a human-readable summary.
     pub fn render(&self) -> String {

@@ -317,7 +317,7 @@ struct Replay<'a> {
     lib_floor: Time,
     last_liberating_ack: Option<Time>,
     /// Last transmission time per segment start (for RTO plausibility).
-    last_sent: std::collections::HashMap<u32, Time>,
+    last_sent: std::collections::BTreeMap<u32, Time>,
     /// Go-back-N refill pointer after a window collapse.
     resend_ptr: Option<SeqNum>,
     /// Active burst-retransmission window.
@@ -358,7 +358,7 @@ struct Replay<'a> {
     /// before the inferred quench.
     pre_quench_cwnd: u64,
     rtt_estimate: Option<Duration>,
-    first_send_time: std::collections::HashMap<u32, Time>,
+    first_send_time: std::collections::BTreeMap<u32, Time>,
 
     analysis: SenderAnalysis,
     sender_window_evidence: usize,
@@ -389,7 +389,7 @@ fn replay(
         liberations: Vec::new(),
         lib_floor: Time(i64::MIN),
         last_liberating_ack: None,
-        last_sent: std::collections::HashMap::new(),
+        last_sent: std::collections::BTreeMap::new(),
         resend_ptr: None,
         burst_until: None,
         fast_retx_armed: false,
@@ -405,7 +405,7 @@ fn replay(
         quench_resync_until: None,
         pre_quench_cwnd: 0,
         rtt_estimate: None,
-        first_send_time: std::collections::HashMap::new(),
+        first_send_time: std::collections::BTreeMap::new(),
         analysis: SenderAnalysis {
             config_name: cfg.name,
             response_delays: Summary::new(),

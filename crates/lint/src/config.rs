@@ -1,0 +1,331 @@
+//! `Lint.toml` — per-crate scoping for the rule set.
+//!
+//! The workspace config is a deliberately small TOML subset, parsed by
+//! hand (the offline-CI constraint rules out the `toml` crate, and the
+//! config needs nothing fancy):
+//!
+//! ```toml
+//! [workspace]
+//! exclude = ["target/", "vendor/"]
+//!
+//! [rule.no-unwrap-in-analyzer]
+//! include = ["crates/core/src/"]          # path-prefix scoping
+//! exclude = []
+//! index_include = ["crates/core/src/"]    # rule-specific sub-scope
+//! ```
+//!
+//! Supported syntax: `[section]` headers, `key = "string"`,
+//! `key = ["array", "of", "strings"]`, `key = true|false`, `#` comments,
+//! and nothing else. Unknown sections or keys are an error — a typo in
+//! the gate's own config must fail loudly, not silently widen or narrow
+//! a rule's scope.
+
+use std::collections::BTreeMap;
+
+/// Scope lists for one rule. Empty `include` means "every file".
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// Path prefixes the rule applies to (empty = all files).
+    pub include: Vec<String>,
+    /// Path prefixes exempted from the rule.
+    pub exclude: Vec<String>,
+    /// Rule-specific sub-scopes, keyed by `<name>_include` /
+    /// `<name>_exclude` (e.g. the `index_include` of
+    /// `no-unwrap-in-analyzer`, the `clock_exclude` of
+    /// `determinism-hazards`).
+    pub extra: BTreeMap<String, Vec<String>>,
+}
+
+impl RuleScope {
+    /// `true` when `path` (workspace-relative, `/`-separated) is in the
+    /// rule's main scope.
+    pub fn applies(&self, path: &str) -> bool {
+        in_scope(path, &self.include, &self.exclude)
+    }
+
+    /// Evaluates a named sub-scope: `<name>_include` / `<name>_exclude`
+    /// layered on top of the main scope. A sub-check with no
+    /// `<name>_include` key inherits the rule's `include`.
+    pub fn applies_sub(&self, name: &str, path: &str) -> bool {
+        let include = self
+            .extra
+            .get(&format!("{name}_include"))
+            .unwrap_or(&self.include);
+        let empty = Vec::new();
+        let exclude = self.extra.get(&format!("{name}_exclude")).unwrap_or(&empty);
+        if !in_scope(path, include, exclude) {
+            return false;
+        }
+        // The rule-wide exclude always applies.
+        !self.exclude.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+fn in_scope(path: &str, include: &[String], exclude: &[String]) -> bool {
+    let included = include.is_empty() || include.iter().any(|p| path.starts_with(p.as_str()));
+    included && !exclude.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// The whole pass's configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes never walked at all (build artifacts, vendored
+    /// stand-ins, the lint's own deliberately-bad fixtures).
+    pub walk_exclude: Vec<String>,
+    /// Per-rule scopes, keyed by rule name. Rules absent from the config
+    /// run with full scope — deny by default.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl Config {
+    /// The scope for a rule (full scope if the config never mentions it).
+    pub fn scope(&self, rule: &str) -> RuleScope {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Parses the `Lint.toml` subset. `known_rules` guards against
+    /// configuring a rule that does not exist.
+    pub fn parse(src: &str, known_rules: &[&str]) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section: Option<String> = None;
+        for (lineno, line) in logical_lines(src) {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or(format!("Lint.toml:{lineno}: unterminated section header"))?
+                    .trim()
+                    .to_string();
+                if name != "workspace" && !name.starts_with("rule.") {
+                    return Err(format!(
+                        "Lint.toml:{lineno}: unknown section [{name}] (expected [workspace] or [rule.<name>])"
+                    ));
+                }
+                if let Some(rule) = name.strip_prefix("rule.") {
+                    if !known_rules.contains(&rule) {
+                        return Err(format!(
+                            "Lint.toml:{lineno}: unknown rule {rule:?} (known: {})",
+                            known_rules.join(", ")
+                        ));
+                    }
+                    config.rules.entry(rule.to_string()).or_default();
+                }
+                section = Some(name);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or(format!("Lint.toml:{lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value =
+                parse_value(value.trim()).map_err(|e| format!("Lint.toml:{lineno}: {e}"))?;
+            match section.as_deref() {
+                Some("workspace") => match (key, value) {
+                    ("exclude", Value::Array(paths)) => config.walk_exclude = paths,
+                    ("exclude", _) => {
+                        return Err(format!(
+                            "Lint.toml:{lineno}: workspace.exclude must be a string array"
+                        ))
+                    }
+                    _ => return Err(format!("Lint.toml:{lineno}: unknown workspace key {key:?}")),
+                },
+                Some(name) if name.starts_with("rule.") => {
+                    let rule = name.trim_start_matches("rule.").to_string();
+                    let scope = config.rules.entry(rule).or_default();
+                    let Value::Array(paths) = value else {
+                        return Err(format!(
+                            "Lint.toml:{lineno}: rule scopes must be string arrays"
+                        ));
+                    };
+                    match key {
+                        "include" => scope.include = paths,
+                        "exclude" => scope.exclude = paths,
+                        sub if sub.ends_with("_include") || sub.ends_with("_exclude") => {
+                            scope.extra.insert(sub.to_string(), paths);
+                        }
+                        _ => return Err(format!("Lint.toml:{lineno}: unknown rule key {key:?}")),
+                    }
+                }
+                _ => return Err(format!("Lint.toml:{lineno}: key outside any [section]")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Joins multi-line arrays into single logical lines (comments already
+/// stripped), keyed by the line number they start on.
+fn logical_lines(src: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut open = 0i32;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        let balance = bracket_balance(&line);
+        if open > 0 {
+            // Continuation of an array opened on an earlier line.
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(&line);
+            }
+        } else {
+            out.push((idx + 1, line));
+        }
+        open += balance;
+    }
+    out
+}
+
+/// Net `[`/`]` balance outside double-quoted strings.
+fn bracket_balance(line: &str) -> i32 {
+    let mut balance = 0i32;
+    let mut in_str = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => in_str = !in_str,
+            '[' if !in_str => balance += 1,
+            ']' if !in_str => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+    /// Accepted syntactically so a future boolean key gets a good
+    /// "must be a string array" error instead of a parse failure.
+    Bool,
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '\\' if in_str => {
+                escaped = !escaped;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_value(src: &str) -> Result<Value, String> {
+    if src == "true" {
+        return Ok(Value::Bool);
+    }
+    if src == "false" {
+        return Ok(Value::Bool);
+    }
+    if let Some(body) = src.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or("unterminated array")?;
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err("arrays may only contain strings".into()),
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(body) = src.strip_prefix('"') {
+        let body = body.strip_suffix('"').ok_or("unterminated string")?;
+        if body.contains('"') {
+            return Err("stray quote inside string".into());
+        }
+        return Ok(Value::Str(body.replace("\\\\", "\\")));
+    }
+    Err(format!("cannot parse value {src:?}"))
+}
+
+/// Splits an array body on commas that sit outside quotes.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in body.chars() {
+        match ch {
+            '"' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KNOWN: &[&str] = &["no-unwrap-in-analyzer", "determinism-hazards"];
+
+    #[test]
+    fn parses_scopes_and_extras() {
+        let src = r#"
+# gate config
+[workspace]
+exclude = ["target/", "vendor/"]
+
+[rule.no-unwrap-in-analyzer]
+include = ["crates/core/src/"]  # analyzer only
+index_include = ["crates/core/src/receiver.rs"]
+"#;
+        let c = Config::parse(src, KNOWN).expect("parses");
+        assert_eq!(c.walk_exclude, vec!["target/", "vendor/"]);
+        let scope = c.scope("no-unwrap-in-analyzer");
+        assert!(scope.applies("crates/core/src/sender.rs"));
+        assert!(!scope.applies("crates/obs/src/log.rs"));
+        assert!(scope.applies_sub("index", "crates/core/src/receiver.rs"));
+        assert!(!scope.applies_sub("index", "crates/core/src/sender.rs"));
+    }
+
+    #[test]
+    fn unmentioned_rule_gets_full_scope() {
+        let c = Config::parse("[workspace]\nexclude = []\n", KNOWN).expect("parses");
+        assert!(c.scope("determinism-hazards").applies("anything/at/all.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_or_key_is_an_error() {
+        assert!(Config::parse("[rule.no-such-rule]\n", KNOWN).is_err());
+        assert!(Config::parse("[workspace]\ntypo = []\n", KNOWN).is_err());
+        assert!(Config::parse("stray = 1\n", KNOWN).is_err());
+    }
+
+    #[test]
+    fn multi_line_arrays_join() {
+        let src = "[workspace]\nexclude = [\n    \"vendor/\",  # stand-ins\n    \"target/\",\n]\n";
+        let c = Config::parse(src, KNOWN).expect("parses");
+        assert_eq!(c.walk_exclude, vec!["vendor/", "target/"]);
+    }
+
+    #[test]
+    fn sub_scope_inherits_main_include_when_absent() {
+        let src = "[rule.determinism-hazards]\ninclude = [\"crates/core/\"]\n";
+        let c = Config::parse(src, KNOWN).expect("parses");
+        let s = c.scope("determinism-hazards");
+        assert!(s.applies_sub("clock", "crates/core/src/lib.rs"));
+        assert!(!s.applies_sub("clock", "crates/obs/src/span.rs"));
+    }
+}

@@ -1,0 +1,570 @@
+//! A small hand-rolled Rust token scanner.
+//!
+//! The lint's rules are *lexical*: they match short token sequences
+//! (`.unwrap(`, `HashMap`, `as u32`, …), so a full parse is unnecessary —
+//! what *is* necessary is never mistaking the inside of a string literal,
+//! char literal, or comment for code. This lexer gets exactly that right:
+//! strings (plain, raw, byte, raw-byte, with escapes), char literals vs.
+//! lifetimes, nested block comments, raw identifiers. Everything else is
+//! surfaced as identifiers, literals, and punctuation with line/column
+//! positions.
+//!
+//! No `syn`, no proc-macro machinery: the workspace's CI is offline and
+//! the gate must not acquire dependencies of its own.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are unescaped: `r#type` →
+    /// `type`).
+    Ident,
+    /// Lifetime (`'a`), label (`'outer`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `..`, `..=`, or `...` — distinct because range indexing matters.
+    DotDot,
+    /// `::` — distinct because path patterns matter.
+    PathSep,
+    /// Any other single punctuation character.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The token text (for `Punct`, the single character).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// `true` if this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` if this is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// One comment, kept separate from the code token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexed file: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens (comments excluded).
+    pub tokens: Vec<Tok>,
+    /// Comments (line and block, including doc comments).
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+}
+
+fn is_ident_start(ch: char) -> bool {
+    ch == '_' || ch.is_alphabetic()
+}
+
+fn is_ident_continue(ch: char) -> bool {
+    ch == '_' || ch.is_alphanumeric()
+}
+
+/// Lexes a Rust source file. Unterminated constructs (a file truncated
+/// inside a string, say) consume to end of input rather than erroring:
+/// the lint must degrade, not die, on the code it reads.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(ch) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if ch.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if ch == '/' && cur.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+        if ch == '/' && cur.peek_at(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(c) = cur.peek() {
+                if c == '/' && cur.peek_at(1) == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if c == '*' && cur.peek_at(1) == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(c);
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+        // Raw strings and byte/raw-byte/C strings: r"…", r#"…"#, br"…",
+        // b"…", c"…". Also raw identifiers r#ident.
+        if is_ident_start(ch) {
+            // Check the string-literal prefixes before treating the run
+            // as an identifier.
+            if let Some(tok) = try_prefixed_string(&mut cur, line, col) {
+                out.tokens.push(tok);
+                continue;
+            }
+            // Raw identifier r#name.
+            if ch == 'r'
+                && cur.peek_at(1) == Some('#')
+                && cur.peek_at(2).is_some_and(is_ident_start)
+            {
+                cur.bump(); // r
+                cur.bump(); // #
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if ch == '"' {
+            let text = consume_quoted(&mut cur);
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if ch == '\'' {
+            if let Some(tok) = consume_char_or_lifetime(&mut cur, line, col) {
+                out.tokens.push(tok);
+            }
+            continue;
+        }
+        // Numbers.
+        if ch.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else if c == '.'
+                    && cur.peek_at(1) != Some('.')
+                    && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                    && !text.contains('.')
+                {
+                    // One decimal point, never a range (`0..n`).
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Multi-char puncts the rules care about.
+        if ch == '.' && cur.peek_at(1) == Some('.') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::from("..");
+            if cur.peek() == Some('=') || cur.peek() == Some('.') {
+                text.push(cur.bump().unwrap_or('=')); // peeked above; never None
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::DotDot,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if ch == ':' && cur.peek_at(1) == Some(':') {
+            cur.bump();
+            cur.bump();
+            out.tokens.push(Tok {
+                kind: TokKind::PathSep,
+                text: "::".into(),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Everything else: single punct.
+        cur.bump();
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: ch.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes `"…"` with escape handling; the opening quote is at the
+/// cursor. Returns the literal including quotes.
+fn consume_quoted(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('"')); // opening quote
+    while let Some(c) = cur.peek() {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"` starting at an
+/// identifier-start character. Returns `None` when the cursor is not at
+/// a prefixed string (and consumes nothing in that case).
+fn try_prefixed_string(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    let c0 = cur.peek()?;
+    // Possible prefixes: r, b, c, br, rb (rb is not legal Rust but cheap
+    // to accept), each followed by optional #s then a quote.
+    let mut raw = false;
+    let mut ahead;
+    match c0 {
+        'r' => {
+            raw = true;
+            ahead = 1;
+            if cur.peek_at(1) == Some('b') {
+                ahead = 2;
+            }
+        }
+        'b' | 'c' => {
+            ahead = 1;
+            if cur.peek_at(1) == Some('r') {
+                raw = true;
+                ahead = 2;
+            }
+        }
+        _ => return None,
+    }
+    let mut hashes = 0usize;
+    while raw && cur.peek_at(ahead + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek_at(ahead + hashes) != Some('"') {
+        return None;
+    }
+    if !raw && hashes > 0 {
+        return None;
+    }
+    // Byte char literal (b'x') is handled by the char path, not here.
+    let mut text = String::new();
+    for _ in 0..ahead + hashes + 1 {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    if raw {
+        // Consume until `"` followed by `hashes` hashes.
+        while let Some(c) = cur.peek() {
+            if c == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if cur.peek_at(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..1 + hashes {
+                        if let Some(c) = cur.bump() {
+                            text.push(c);
+                        }
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+            cur.bump();
+        }
+    } else {
+        // Cooked string with escapes; the opening quote is consumed.
+        while let Some(c) = cur.peek() {
+            if c == '\\' {
+                text.push(c);
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            text.push(c);
+            cur.bump();
+            if c == '"' {
+                break;
+            }
+        }
+    }
+    Some(Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    })
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal). The
+/// opening quote is at the cursor.
+fn consume_char_or_lifetime(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    // A char literal is '\…' or 'X' followed by a closing quote; a
+    // lifetime is ' followed by an identifier and no closing quote.
+    let next = cur.peek_at(1);
+    let is_char = match next {
+        Some('\\') => true,
+        Some(c) if is_ident_start(c) => cur.peek_at(2) == Some('\''),
+        Some(_) => true, // '(' , '1' etc: must be a char literal
+        None => false,
+    };
+    if is_char {
+        let mut text = String::new();
+        text.push(cur.bump()?); // '
+        while let Some(c) = cur.peek() {
+            if c == '\\' {
+                text.push(c);
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            text.push(c);
+            cur.bump();
+            if c == '\'' {
+                break;
+            }
+        }
+        Some(Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+            col,
+        })
+    } else {
+        let mut text = String::new();
+        text.push(cur.bump()?); // '
+        while let Some(c) = cur.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        Some(Tok {
+            kind: TokKind::Lifetime,
+            text,
+            line,
+            col,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let x = "a.unwrap() // not code"; y.unwrap();"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = r##"let s = r#"panic!("inner")"#; real();"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "real"]);
+    }
+
+    #[test]
+    fn comments_are_separated() {
+        let src = "// fake.unwrap()\nx.unwrap(); /* block\npanic!() */ done();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["x", "unwrap", "done"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn ranges_are_dotdot_not_number_soup() {
+        let src = "let s = &b[1..n]; let t = 0..=9; let f = 1.5;";
+        let lexed = lex(src);
+        let dotdots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::DotDot)
+            .count();
+        assert_eq!(dotdots, 2);
+        assert!(lexed.tokens.iter().any(|t| t.text == "1.5"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        let ids = idents("let r#type = 1;");
+        assert_eq!(ids, vec!["let", "type"]);
+    }
+
+    #[test]
+    fn path_sep_is_a_single_token() {
+        let lexed = lex("std::env::args()");
+        let seps = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::PathSep)
+            .count();
+        assert_eq!(seps, 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! CLI entry point: `tcpa-lint check [--root DIR] [--format human|json]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or configuration error.
+//! This file is the one place in the crate that reads `std::env` and
+//! prints — `Lint.toml` scopes the `env` sub-check and the
+//! `no-raw-eprintln` rule away from it accordingly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tcpa_lint::check_workspace;
+
+const USAGE: &str = "usage: tcpa-lint check [--root DIR] [--format human|json]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("tcpa-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses args, runs the check, prints the report. Returns whether the
+/// tree was clean.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = "human".to_string();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or(format!("--root needs a value\n{USAGE}"))?)
+            }
+            "--format" => {
+                format = it
+                    .next()
+                    .ok_or(format!("--format needs a value\n{USAGE}"))?
+                    .clone();
+                if format != "human" && format != "json" {
+                    return Err(format!("unknown format {format:?}\n{USAGE}"));
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let report = check_workspace(&root)?;
+    let rendered = if format == "json" {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    print!("{rendered}");
+    Ok(report.is_clean())
+}

@@ -1,0 +1,220 @@
+//! Reporters: human (`file:line:col: rule: message`) and machine
+//! (`--format json`, schema `tcpa-lint/v1`).
+//!
+//! Both renderings are deterministic by construction — findings and
+//! allows are sorted, nothing emits a timestamp — so two consecutive
+//! runs over the same tree produce byte-identical output. That mirrors
+//! the workspace contract the lint itself enforces.
+
+use crate::rules::Finding;
+use crate::suppress::Allow;
+
+/// A finding that was matched by a justified allow.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowedFinding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Line of the suppressed finding.
+    pub line: u32,
+    /// Rule that was allowed.
+    pub rule: String,
+    /// The justification carried by the allow comment.
+    pub justification: String,
+}
+
+/// The outcome of a whole check run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Surviving findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Findings matched by a justified allow, sorted.
+    pub allowed: Vec<AllowedFinding>,
+    /// Number of `.rs` files examined.
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    /// Sorts both lists into their canonical order. Called once after
+    /// the walk so renderings are deterministic.
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule))
+        });
+        self.allowed.sort();
+    }
+
+    /// `true` when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human rendering: one `path:line:col: rule: message` line per
+    /// finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: {}: {}\n",
+                f.path, f.line, f.col, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "tcpa-lint: {} finding(s), {} allowed, {} file(s) checked\n",
+            self.findings.len(),
+            self.allowed.len(),
+            self.files_checked
+        ));
+        out
+    }
+
+    /// JSON rendering, schema `tcpa-lint/v1`. Hand-rolled (the crate has
+    /// no dependencies); keys are emitted in a fixed order.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"tcpa-lint/v1\",\n");
+        out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.rule),
+                json_str(&f.message)
+            ));
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"allowed\": [");
+        for (i, a) in self.allowed.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"justification\": {}}}",
+                json_str(&a.path),
+                a.line,
+                json_str(&a.rule),
+                json_str(&a.justification)
+            ));
+        }
+        out.push_str(if self.allowed.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Merges one allow list against one file's findings: matched findings
+/// move to `allowed`, the rest survive.
+pub fn apply_allows(findings: Vec<Finding>, allows: &[Allow], report: &mut LintReport) {
+    for f in findings {
+        let matched = allows
+            .iter()
+            .find(|a| a.rule == f.rule && a.target_line == f.line);
+        match matched {
+            Some(a) => report.allowed.push(AllowedFinding {
+                path: f.path,
+                line: f.line,
+                rule: f.rule,
+                justification: a.justification.clone(),
+            }),
+            None => report.findings.push(f),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32, rule: &str) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            col: 1,
+            rule: rule.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn renders_sorted_and_stable() {
+        let mut r = LintReport {
+            findings: vec![
+                finding("b.rs", 2, "no-raw-eprintln"),
+                finding("a.rs", 9, "no-raw-eprintln"),
+            ],
+            allowed: vec![],
+            files_checked: 2,
+        };
+        r.finalize();
+        assert!(r.render_human().starts_with("a.rs:9:1:"));
+        let j1 = r.render_json();
+        let j2 = r.render_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"schema\": \"tcpa-lint/v1\""));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = LintReport::default();
+        let j = r.render_json();
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"allowed\": []"));
+    }
+
+    #[test]
+    fn allows_split_findings() {
+        use crate::suppress::Allow;
+        let mut report = LintReport::default();
+        let allows = vec![Allow {
+            rule: "no-raw-eprintln".into(),
+            justification: "census choke point".into(),
+            comment_line: 2,
+            target_line: 2,
+        }];
+        apply_allows(
+            vec![
+                finding("a.rs", 2, "no-raw-eprintln"),
+                finding("a.rs", 5, "no-raw-eprintln"),
+            ],
+            &allows,
+            &mut report,
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 5);
+        assert_eq!(report.allowed.len(), 1);
+        assert_eq!(report.allowed[0].justification, "census choke point");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

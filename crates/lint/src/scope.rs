@@ -1,0 +1,181 @@
+//! Test-region detection.
+//!
+//! Every rule exempts test code: `#[cfg(test)]` modules, `#[test]` /
+//! `#[should_panic]` functions, and whole files under `tests/`,
+//! `benches/`, or `examples/`. Tests are *supposed* to unwrap and panic —
+//! a failed assertion is the mechanism, not a contract violation.
+//!
+//! Detection is token-based: find an attribute whose argument tokens
+//! mention `test` (and not `not`, so `#[cfg(not(test))]` stays
+//! production code), then brace-match the item that follows. The matched
+//! line range is exempt.
+
+use crate::lexer::Tok;
+
+/// Line ranges (1-based, inclusive) covered by test-only items.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl TestRegions {
+    /// `true` when `line` falls inside any test item.
+    pub fn contains(&self, line: u32) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+/// `true` for paths that are test scope in their entirety.
+pub fn path_is_test(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+        || path.ends_with("build.rs")
+}
+
+/// Scans the token stream for test attributes and brace-matches the item
+/// each one introduces.
+pub fn detect(tokens: &[Tok]) -> TestRegions {
+    let mut regions = TestRegions::default();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_close(tokens, i + 1, '[', ']') else {
+            break; // truncated file: nothing more to find
+        };
+        let args = &tokens[i + 2..attr_end];
+        let mentions_test = args
+            .iter()
+            .any(|t| t.is_ident("test") || t.is_ident("should_panic"));
+        let negated = args.iter().any(|t| t.is_ident("not"));
+        if !mentions_test || negated {
+            i = attr_end + 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip any further attributes stacked on the same item.
+        let mut k = attr_end + 1;
+        while k < tokens.len()
+            && tokens[k].is_punct('#')
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match matching_close(tokens, k + 1, '[', ']') {
+                Some(end) => k = end + 1,
+                None => break,
+            }
+        }
+        // Find the item body: the first `{` at bracket depth zero, or a
+        // bare `;` (e.g. `mod tests;`) which ends the item immediately.
+        let mut depth = 0i32;
+        let mut body_open = None;
+        let mut end_line = tokens.get(k).map_or(start_line, |t| t.line);
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(';') {
+                end_line = t.line;
+                break;
+            } else if depth == 0 && t.is_punct('{') {
+                body_open = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        if let Some(open) = body_open {
+            match matching_close(tokens, open, '{', '}') {
+                Some(close) => {
+                    end_line = tokens[close].line;
+                    k = close;
+                }
+                None => {
+                    // Truncated inside the body: exempt to end of file.
+                    end_line = tokens.last().map_or(start_line, |t| t.line);
+                    k = tokens.len();
+                }
+            }
+        }
+        regions.ranges.push((start_line, end_line));
+        i = k.max(attr_end) + 1;
+    }
+    regions
+}
+
+/// Index of the punct closing the bracket that opens at `open_idx`.
+fn matching_close(tokens: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions(src: &str) -> TestRegions {
+        detect(&lex(src).tokens)
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src =
+            "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let r = regions(src);
+        assert!(!r.contains(1));
+        assert!(r.contains(2));
+        assert!(r.contains(4));
+        assert!(r.contains(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }\n";
+        assert!(!regions(src).contains(2));
+    }
+
+    #[test]
+    fn stacked_attributes_cover_the_item() {
+        let src = "#[test]\n#[should_panic]\nfn t() {\n    boom();\n}\nfn prod() {}\n";
+        let r = regions(src);
+        assert!(r.contains(4));
+        assert!(!r.contains(6));
+    }
+
+    #[test]
+    fn signature_brackets_do_not_confuse_body_search() {
+        let src = "#[test]\nfn t(a: [u8; 4]) {\n    a.unwrap();\n}\nfn prod() {}\n";
+        let r = regions(src);
+        assert!(r.contains(3));
+        assert!(!r.contains(5));
+    }
+
+    #[test]
+    fn external_mod_declaration_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() {}\n";
+        let r = regions(src);
+        assert!(r.contains(2));
+        assert!(!r.contains(3));
+    }
+
+    #[test]
+    fn test_scope_paths() {
+        assert!(path_is_test("crates/core/tests/contract.rs"));
+        assert!(path_is_test("crates/bench/benches/smoke.rs"));
+        assert!(path_is_test("build.rs"));
+        assert!(!path_is_test("crates/core/src/receiver.rs"));
+    }
+}

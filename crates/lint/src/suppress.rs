@@ -1,0 +1,158 @@
+//! Inline suppressions.
+//!
+//! A finding is silenced by a comment on the same line, or on a
+//! comment-only line directly above, of the form
+//!
+//! ```text
+//! // tcpa-lint: allow(no-unwrap-in-analyzer) -- bounds proven by the split loop above
+//! ```
+//!
+//! The justification after `--` is mandatory: an allow without a reason
+//! is itself reported (as `malformed-suppression`), so every exemption
+//! in the tree documents *why* the contract does not apply. Unknown rule
+//! names are likewise malformed — a typo must not silently disable
+//! nothing.
+
+use crate::lexer::{Comment, Tok};
+use crate::rules::{Finding, MALFORMED_RULE, RULE_NAMES};
+
+/// One parsed, well-formed allow.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: String,
+    /// Mandatory justification text.
+    pub justification: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line the allow applies to (same line, or the next code line when
+    /// the comment stands alone).
+    pub target_line: u32,
+}
+
+/// The marker that makes a comment a suppression attempt.
+const MARKER: &str = "tcpa-lint:";
+
+/// Extracts allows from a file's comments. Comments that contain the
+/// marker but do not parse become `malformed-suppression` findings.
+pub fn parse(path: &str, comments: &[Comment], tokens: &[Tok]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find(MARKER) else {
+            continue;
+        };
+        let rest = c.text[at + MARKER.len()..].trim();
+        match parse_allow(rest) {
+            Ok((rule, justification)) => {
+                let target_line = target_of(c.line, tokens);
+                allows.push(Allow {
+                    rule,
+                    justification,
+                    comment_line: c.line,
+                    target_line,
+                });
+            }
+            Err(why) => malformed.push(Finding {
+                path: path.to_string(),
+                line: c.line,
+                col: 1,
+                rule: MALFORMED_RULE.to_string(),
+                message: format!("unparseable `tcpa-lint:` comment: {why}"),
+            }),
+        }
+    }
+    (allows, malformed)
+}
+
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let body = rest
+        .strip_prefix("allow(")
+        .ok_or("expected `allow(<rule>)` after the marker")?;
+    let close = body.find(')').ok_or("missing `)` after the rule name")?;
+    let rule = body[..close].trim();
+    if !RULE_NAMES.contains(&rule) {
+        return Err(format!(
+            "unknown rule {rule:?} (known: {})",
+            RULE_NAMES.join(", ")
+        ));
+    }
+    let after = body[close + 1..].trim_start();
+    let justification = after
+        .strip_prefix("--")
+        .ok_or("missing ` -- <justification>` after the rule")?
+        .trim();
+    if justification.is_empty() {
+        return Err("empty justification: say why the contract does not apply here".into());
+    }
+    Ok((rule.to_string(), justification.to_string()))
+}
+
+/// A `//` comment is always the last thing on its line, so any code
+/// token sharing the line means same-line targeting; otherwise the allow
+/// points at the next line that has code.
+fn target_of(comment_line: u32, tokens: &[Tok]) -> u32 {
+    if tokens.iter().any(|t| t.line == comment_line) {
+        return comment_line;
+    }
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > comment_line)
+        .min()
+        .unwrap_or(comment_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Allow>, Vec<Finding>) {
+        let lexed = lex(src);
+        parse("a.rs", &lexed.comments, &lexed.tokens)
+    }
+
+    #[test]
+    fn same_line_allow() {
+        let src = "x.unwrap(); // tcpa-lint: allow(no-unwrap-in-analyzer) -- poisoned on purpose\n";
+        let (allows, bad) = run(src);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "no-unwrap-in-analyzer");
+        assert_eq!(allows[0].target_line, 1);
+        assert_eq!(allows[0].justification, "poisoned on purpose");
+    }
+
+    #[test]
+    fn line_above_allow_targets_next_code_line() {
+        let src = "\n// tcpa-lint: allow(thread-spawn-audit) -- progress ticker, joined on drop\n\nstd::thread::spawn(f);\n";
+        let (allows, bad) = run(src);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(allows[0].comment_line, 2);
+        assert_eq!(allows[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        let src = "x(); // tcpa-lint: allow(no-raw-eprintln)\n";
+        let (allows, bad) = run(src);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, MALFORMED_RULE);
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let src = "x(); // tcpa-lint: allow(no-such-rule) -- because\n";
+        let (_, bad) = run(src);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn ordinary_comments_ignored() {
+        let (allows, bad) = run("// run tcpa-lint before pushing\nx();\n");
+        assert!(allows.is_empty() && bad.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Deterministic workspace walk.
+//!
+//! Collects every `.rs` file under the root in sorted order —
+//! directory entries are sorted by name at each level, so the walk (and
+//! therefore the report) is byte-stable regardless of filesystem
+//! readdir order. `target/`, `.git/`, and the `Lint.toml` workspace
+//! excludes are pruned before descent.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, independent of config.
+const ALWAYS_SKIP: &[&str] = &["target", ".git"];
+
+/// Walks `root`, returning workspace-relative `/`-separated paths of all
+/// `.rs` files, sorted, minus the `exclude` prefixes.
+pub fn rust_files(root: &Path, exclude: &[String]) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, exclude, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, exclude: &[String], out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue; // non-UTF-8 names cannot be workspace source
+        };
+        let rel = relative(root, &path);
+        if path.is_dir() {
+            if ALWAYS_SKIP.contains(&name) || is_excluded(&format!("{rel}/"), exclude) {
+                continue;
+            }
+            walk(root, &path, exclude, out)?;
+        } else if name.ends_with(".rs") && !is_excluded(&rel, exclude) {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn is_excluded(rel: &str, exclude: &[String]) -> bool {
+    exclude.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_is_sorted_and_prunes() {
+        let dir = std::env::temp_dir().join(format!("tcpa-lint-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("b/src")).unwrap();
+        fs::create_dir_all(dir.join("a")).unwrap();
+        fs::create_dir_all(dir.join("target")).unwrap();
+        fs::create_dir_all(dir.join("skipme")).unwrap();
+        fs::write(dir.join("b/src/z.rs"), "").unwrap();
+        fs::write(dir.join("a/m.rs"), "").unwrap();
+        fs::write(dir.join("a/notes.txt"), "").unwrap();
+        fs::write(dir.join("target/gen.rs"), "").unwrap();
+        fs::write(dir.join("skipme/x.rs"), "").unwrap();
+
+        let files = rust_files(&dir, &["skipme/".to_string()]).unwrap();
+        assert_eq!(files, vec!["a/m.rs", "b/src/z.rs"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,72 @@
+//! End-to-end CLI tests: exit codes and byte-stable output from the
+//! built `tcpa-lint` binary, exactly as CI invokes it.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+const GOLDEN: &str = include_str!("goldens/fixtures.json");
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tcpa-lint"))
+        .args(args)
+        .output()
+        .expect("spawn tcpa-lint")
+}
+
+fn fixtures_root() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .display()
+        .to_string()
+}
+
+fn workspace_root() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .display()
+        .to_string()
+}
+
+#[test]
+fn bad_fixtures_exit_nonzero_with_golden_json() {
+    let out = lint(&["check", "--root", &fixtures_root(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), GOLDEN);
+}
+
+#[test]
+fn json_output_is_byte_identical_across_runs() {
+    let args = ["check", "--root", &fixtures_root(), "--format", "json"];
+    let first = lint(&args[..]);
+    let second = lint(&args[..]);
+    assert_eq!(first.stdout, second.stdout);
+    assert_eq!(first.status.code(), second.status.code());
+}
+
+#[test]
+fn workspace_is_clean_through_the_cli() {
+    let out = lint(&["check", "--root", &workspace_root(), "--format", "json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace lint gate failed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(lint(&[]).status.code(), Some(2));
+    assert_eq!(lint(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(lint(&["check", "--format", "yaml"]).status.code(), Some(2));
+    assert_eq!(lint(&["check", "--root"]).status.code(), Some(2));
+}
+
+#[test]
+fn human_format_reports_findings_with_positions() {
+    let out = lint(&["check", "--root", &fixtures_root()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bad/unwrap.rs:3:33: no-unwrap-in-analyzer:"));
+    assert!(text.lines().last().unwrap().starts_with("tcpa-lint: "));
+}

@@ -1,0 +1,71 @@
+//! Self-test corpus: lints `tests/fixtures/` in-process and pins the
+//! whole report — findings, allows, file count — to a golden JSON
+//! document, byte for byte.
+
+use std::path::{Path, PathBuf};
+
+use tcpa_lint::rules::MALFORMED_RULE;
+use tcpa_lint::{check_dir, Config, RULE_NAMES};
+
+const GOLDEN: &str = include_str!("goldens/fixtures.json");
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixtures_config() -> Config {
+    let src = std::fs::read_to_string(fixtures_root().join("Lint.toml")).unwrap();
+    Config::parse(&src, RULE_NAMES).unwrap()
+}
+
+#[test]
+fn fixture_report_matches_golden_bytes() {
+    let report = check_dir(&fixtures_root(), &fixtures_config()).unwrap();
+    assert!(!report.is_clean(), "bad fixtures must produce findings");
+    assert_eq!(
+        report.render_json(),
+        GOLDEN,
+        "fixture report drifted from goldens/fixtures.json; \
+         regenerate with `cargo run -p tcpa-lint -- check --root crates/lint/tests/fixtures --format json`"
+    );
+}
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    let report = check_dir(&fixtures_root(), &fixtures_config()).unwrap();
+    for rule in RULE_NAMES.iter().chain([&MALFORMED_RULE]) {
+        assert!(
+            report.findings.iter().any(|f| f.rule == *rule),
+            "no bad fixture triggers rule {rule}"
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_survive_only_via_justified_allows() {
+    let report = check_dir(&fixtures_root(), &fixtures_config()).unwrap();
+    assert!(
+        report.findings.iter().all(|f| f.path.starts_with("bad/")),
+        "a good/ fixture produced an unsuppressed finding: {:?}",
+        report.findings.iter().find(|f| !f.path.starts_with("bad/"))
+    );
+    assert!(
+        report
+            .allowed
+            .iter()
+            .all(|a| !a.justification.trim().is_empty()),
+        "an allow slipped through without a justification"
+    );
+    assert!(
+        report.allowed.iter().any(|a| a.path == "good/spawn.rs"),
+        "the justified spawn allow should land in the allowed list"
+    );
+}
+
+#[test]
+fn two_runs_render_byte_identical_json() {
+    let config = fixtures_config();
+    let a = check_dir(&fixtures_root(), &config).unwrap().render_json();
+    let b = check_dir(&fixtures_root(), &config).unwrap().render_json();
+    assert_eq!(a, b);
+}

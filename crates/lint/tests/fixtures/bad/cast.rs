@@ -1,0 +1,7 @@
+// Bad: narrowing casts on decoded length fields.
+fn decode(len_field: u64, count_field: u64) -> (usize, u32, u16) {
+    let len = len_field as usize;
+    let records = count_field as u32;
+    let port = count_field as u16;
+    (len, records, port)
+}

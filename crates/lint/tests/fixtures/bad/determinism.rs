@@ -1,0 +1,18 @@
+// Bad: all three determinism hazards.
+use std::collections::HashMap;
+
+fn tally(keys: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for k in keys {
+        *counts.entry(*k).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+fn stamp() -> std::time::Instant {
+    Instant::now()
+}
+
+fn ambient() -> Option<String> {
+    std::env::var("TCPA_MODE").ok()
+}

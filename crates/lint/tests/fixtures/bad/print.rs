@@ -1,0 +1,6 @@
+// Bad: raw prints around the census writer.
+fn report(n: usize) {
+    println!("census rows: {n}");
+    eprintln!("warning: {n} rows");
+    print!("partial");
+}

@@ -1,0 +1,6 @@
+// Bad: ad-hoc threads outside corpus.rs with no justification.
+fn background() {
+    std::thread::spawn(|| {});
+    let builder = std::thread::Builder::new();
+    let _ = builder.spawn(|| {});
+}

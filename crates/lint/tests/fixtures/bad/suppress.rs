@@ -1,0 +1,9 @@
+// Bad: suppression attempts that must be reported, not honored.
+fn half_hearted(x: Option<u8>) -> u8 {
+    // tcpa-lint: allow(no-unwrap-in-analyzer)
+    x.unwrap()
+}
+
+fn typoed(y: Option<u8>) -> u8 {
+    y.unwrap() // tcpa-lint: allow(no-unwraps-anywhere) -- rule name does not exist
+}

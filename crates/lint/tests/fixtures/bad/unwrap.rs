@@ -1,0 +1,10 @@
+// Bad: every shape the no-unwrap-in-analyzer rule must catch.
+fn analyzer_path(records: &[u8], i: usize, j: usize) -> u8 {
+    let first = records.first().unwrap();
+    let second = records.get(1).expect("second record");
+    if i > j {
+        panic!("bounds lied");
+    }
+    let _window = &records[i..j];
+    *first + *second
+}

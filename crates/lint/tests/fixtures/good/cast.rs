@@ -1,0 +1,7 @@
+// Good: checked conversions that surface the bad length, and widening
+// casts (never flagged).
+fn decode(len_field: u64, small: u16) -> Result<(usize, u64), String> {
+    let len = usize::try_from(len_field).map_err(|_| format!("oversized: {len_field}"))?;
+    let widened = small as u64;
+    Ok((len, widened))
+}

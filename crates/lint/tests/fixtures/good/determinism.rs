@@ -1,0 +1,10 @@
+// Good: ordered maps, no ambient clock or environment reads.
+use std::collections::BTreeMap;
+
+fn tally(keys: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for k in keys {
+        *counts.entry(*k).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

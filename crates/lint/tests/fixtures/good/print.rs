@@ -1,0 +1,13 @@
+// Good: diagnostics build strings for the logger; no direct prints.
+fn report(n: usize) -> String {
+    let message = format!("census rows: {n}");
+    message
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("test diagnostics are exempt");
+    }
+}

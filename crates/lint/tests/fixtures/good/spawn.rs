@@ -1,0 +1,6 @@
+// Good: the spawn carries a justified allow.
+fn background() {
+    // tcpa-lint: allow(thread-spawn-audit) -- fixture ticker thread; joined immediately and touches no analysis state
+    let handle = std::thread::spawn(|| {});
+    let _ = handle.join();
+}

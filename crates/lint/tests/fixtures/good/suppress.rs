@@ -1,0 +1,6 @@
+// Good: a justified allow silences the finding and lands in the report's
+// allowed list.
+fn sentinel(x: Option<u8>) -> u8 {
+    // tcpa-lint: allow(no-unwrap-in-analyzer) -- fixture sentinel: the Option is constructed Some three lines up
+    x.unwrap()
+}

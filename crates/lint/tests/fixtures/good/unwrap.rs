@@ -1,0 +1,20 @@
+// Good: degrading instead of dying, and test code keeps its panics.
+fn analyzer_path(records: &[u8], i: usize, j: usize) -> Option<u8> {
+    let first = records.first()?;
+    let second = records.get(1).copied().unwrap_or(0);
+    let window = records.get(i..j)?;
+    let span = u8::try_from(window.len()).unwrap_or(u8::MAX);
+    Some(*first + second + span)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Vec<u8> = vec![1, 2];
+        assert_eq!(v.first().unwrap(), &1);
+        if v.len() > 9 {
+            panic!("impossible");
+        }
+    }
+}

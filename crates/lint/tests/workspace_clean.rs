@@ -1,0 +1,31 @@
+//! The meta-test: the workspace's own source must pass its own lint,
+//! in-process, with every surviving allow carrying a justification.
+//! This is the same gate CI runs, so a rule regression or a new
+//! unjustified suppression fails `cargo test` locally first.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = tcpa_lint::check_workspace(&root).expect("Lint.toml must load");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.files_checked > 50,
+        "walk looks truncated: only {} files",
+        report.files_checked
+    );
+    for allow in &report.allowed {
+        assert!(
+            !allow.justification.trim().is_empty(),
+            "{}:{} allows {} without a justification",
+            allow.path,
+            allow.line,
+            allow.rule
+        );
+    }
+}

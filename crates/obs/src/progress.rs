@@ -75,6 +75,7 @@ impl Progress {
         let ticker_shared = Arc::clone(&shared);
         let ticker = std::thread::Builder::new()
             .name("tcpa-progress".into())
+            // tcpa-lint: allow(thread-spawn-audit) -- stderr progress ticker only; touches no analysis state and is stopped and joined by finish()
             .spawn(move || {
                 let mut last = Instant::now();
                 // Sleep in short steps so finish() never blocks a full

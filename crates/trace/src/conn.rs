@@ -97,8 +97,8 @@ impl Connection {
     pub fn split(trace: &Trace) -> Vec<Connection> {
         // Preserve first-seen order of connections.
         let mut order: Vec<ConnKey> = Vec::new();
-        let mut groups: std::collections::HashMap<ConnKey, Vec<TraceRecord>> =
-            std::collections::HashMap::new();
+        let mut groups: std::collections::BTreeMap<ConnKey, Vec<TraceRecord>> =
+            std::collections::BTreeMap::new();
         for rec in trace.iter() {
             let key = ConnKey::of_record(rec);
             groups

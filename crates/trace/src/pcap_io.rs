@@ -21,12 +21,13 @@ use tcpa_wire::{Ipv4Repr, TcpRepr, TsResolution};
 /// Builds the full frame bytes for one record (Ethernet + IP + TCP +
 /// synthetic payload).
 pub fn frame_bytes(rec: &TraceRecord) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(rec.payload_len as usize);
+    let mut payload = Vec::with_capacity(usize::try_from(rec.payload_len).unwrap_or(0));
     // Deterministic pattern keyed to the sequence number so identical
-    // retransmissions carry identical bytes.
+    // retransmissions carry identical bytes. The low byte is taken via
+    // to_le_bytes rather than a narrowing cast.
     let base = rec.tcp.seq.0;
     for i in 0..rec.payload_len {
-        payload.push((base.wrapping_add(i) & 0xff) as u8);
+        payload.push(base.wrapping_add(i).to_le_bytes()[0]);
     }
 
     let mut tcp_bytes = Vec::new();
@@ -71,8 +72,20 @@ pub fn write_pcap<W: Write>(
     let mut writer = PcapWriter::new(out, resolution, LINKTYPE_ETHERNET, effective_snap)?;
     for rec in trace.iter() {
         let frame = frame_bytes(rec);
-        let orig_len = frame.len() as u32;
-        let keep = frame.len().min(effective_snap as usize);
+        let orig_len = u32::try_from(frame.len()).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "frame of {} bytes overflows the 32-bit orig_len field",
+                    frame.len()
+                ),
+            )
+        })?;
+        // A snap length that does not fit usize cannot truncate anything
+        // addressable, so it is equivalent to "keep everything".
+        let keep = frame
+            .len()
+            .min(usize::try_from(effective_snap).unwrap_or(usize::MAX));
         // pcap timestamps are unsigned; clamp pathological negative stamps
         // (real time-travel traces are produced in-memory, not via pcap).
         let ts = rec.ts.as_nanos().max(0) as u64;
@@ -122,18 +135,22 @@ fn decode_frame(pkt: &PcapRecord) -> Option<TraceRecord> {
     }
     let (tcp, captured_payload) = TcpRepr::parse(tcp_bytes).ok()?;
     let header_len = tcp.header_len();
-    let payload_len = (ip.payload_len.saturating_sub(header_len)) as u32;
+    // Checked: the IP length field is 16-bit so this always fits, but a
+    // parser bug upstream must surface as a skipped frame, not wrap.
+    let payload_len = u32::try_from(ip.payload_len.saturating_sub(header_len)).ok()?;
     // Full payload present iff the captured TCP segment length matches
-    // the IP claim; only then can the checksum be verified.
-    let checksum_ok = if captured_payload.len() == payload_len as usize
-        && pkt.orig_len as usize == pkt.data.len()
+    // the IP claim; only then can the checksum be verified. Compare in
+    // u64 so no operand is narrowed.
+    let checksum_ok = if captured_payload.len() as u64 == u64::from(payload_len)
+        && u64::from(pkt.orig_len) == pkt.data.len() as u64
     {
         Some(TcpRepr::verify_checksum(ip.src, ip.dst, tcp_bytes))
     } else {
         None
     };
     Some(TraceRecord {
-        ts: Time(pkt.ts_nanos as i64),
+        // Always fits: sec ≤ u32::MAX bounds ts_nanos below i64::MAX.
+        ts: Time(i64::try_from(pkt.ts_nanos).ok()?),
         ip,
         tcp,
         payload_len,

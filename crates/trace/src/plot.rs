@@ -112,12 +112,14 @@ impl SeqPlot {
     /// `o` ack. `width`/`height` are the plot area in characters.
     pub fn render_ascii(&self, width: usize, height: usize) -> String {
         assert!(width >= 2 && height >= 2, "plot area too small");
-        if self.points.is_empty() {
+        let (Some(t_min), Some(t_max), Some(s_hi)) = (
+            self.points.iter().map(|p| p.t).min(),
+            self.points.iter().map(|p| p.t).max(),
+            self.points.iter().map(|p| p.seq).max(),
+        ) else {
             return String::from("(empty plot)\n");
-        }
-        let t_min = self.points.iter().map(|p| p.t).min().unwrap();
-        let t_max = self.points.iter().map(|p| p.t).max().unwrap();
-        let s_max = self.points.iter().map(|p| p.seq).max().unwrap().max(1);
+        };
+        let s_max = s_hi.max(1);
         let t_span = (t_max - t_min).as_nanos().max(1) as f64;
 
         let mut grid = vec![vec![' '; width]; height];

@@ -304,7 +304,13 @@ impl<R: Read> PcapReader<R> {
                 incl_len,
             });
         }
-        let mut data = vec![0u8; incl_len as usize];
+        // Checked, not `as`: on a 16-bit usize the cast would silently
+        // truncate the allocation and misalign every later record.
+        let alloc = usize::try_from(incl_len).map_err(|_| PcapError::BadRecordLength {
+            offset: rec_offset,
+            incl_len,
+        })?;
+        let mut data = vec![0u8; alloc];
         let have = read_fully(&mut self.inner, &mut data)?;
         if have < data.len() {
             return Err(PcapError::TruncatedRecordData {
@@ -457,10 +463,13 @@ fn try_record(bytes: &[u8], pos: usize, layout: Layout) -> Result<(PcapRecord, u
     if incl_len > MAX_INCL_LEN {
         return Err(FaultKind::OversizedLength);
     }
-    if rest - 16 < incl_len as usize {
+    // Checked conversion: a length that does not fit usize is the same
+    // salvage fault as one over the cap, not a silent truncation.
+    let len = usize::try_from(incl_len).map_err(|_| FaultKind::OversizedLength)?;
+    if rest - 16 < len {
         return Err(FaultKind::MidRecordEof);
     }
-    let data = bytes[pos + 16..pos + 16 + incl_len as usize].to_vec();
+    let data = bytes[pos + 16..pos + 16 + len].to_vec();
     let per_unit = 1_000_000_000 / layout.resolution.units_per_sec();
     let ts_nanos = u64::from(ts_sec) * 1_000_000_000 + u64::from(ts_sub) * per_unit;
     Ok((
@@ -469,7 +478,7 @@ fn try_record(bytes: &[u8], pos: usize, layout: Layout) -> Result<(PcapRecord, u
             orig_len,
             data,
         },
-        pos + 16 + incl_len as usize,
+        pos + 16 + len,
     ))
 }
 
@@ -589,12 +598,16 @@ pub fn salvage_records(bytes: &[u8]) -> (Vec<PcapRecord>, SalvageSummary) {
                 // payload cannot cascade misalignment.
                 let skip_whole = if kind == FaultKind::CorruptTimestamp {
                     let h = &bytes[pos..pos + 16];
-                    let incl_len = layout.u32([h[8], h[9], h[10], h[11]]) as usize;
-                    let end = pos.saturating_add(16).saturating_add(incl_len);
-                    (incl_len <= MAX_INCL_LEN as usize
-                        && end <= bytes.len()
-                        && (end == bytes.len() || try_record(bytes, end, layout).is_ok()))
-                    .then_some(end)
+                    let field = layout.u32([h[8], h[9], h[10], h[11]]);
+                    // Checked: an unconvertible length disqualifies the
+                    // jump instead of truncating to a bogus target.
+                    usize::try_from(field).ok().and_then(|incl_len| {
+                        let end = pos.saturating_add(16).saturating_add(incl_len);
+                        (field <= MAX_INCL_LEN
+                            && end <= bytes.len()
+                            && (end == bytes.len() || try_record(bytes, end, layout).is_ok()))
+                        .then_some(end)
+                    })
                 } else {
                     None
                 };
@@ -648,14 +661,33 @@ impl<W: Write> PcapWriter<W> {
         Ok(PcapWriter { inner, resolution })
     }
 
-    /// Appends one record. `ts_nanos` is truncated to the file resolution.
+    /// Appends one record. `ts_nanos` is truncated to the file
+    /// resolution. Fails with `InvalidInput` rather than wrapping when a
+    /// field does not fit the 32-bit on-disk format (a timestamp past
+    /// 2106, or more than 4 GiB of captured data).
     pub fn write_record(&mut self, ts_nanos: u64, orig_len: u32, data: &[u8]) -> io::Result<()> {
         let per_unit = 1_000_000_000 / self.resolution.units_per_sec();
-        let ts_sec = (ts_nanos / 1_000_000_000) as u32;
-        let ts_sub = ((ts_nanos % 1_000_000_000) / per_unit) as u32;
+        let ts_sec = u32::try_from(ts_nanos / 1_000_000_000).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("timestamp {ts_nanos}ns overflows the 32-bit pcap seconds field"),
+            )
+        })?;
+        // Subseconds always fit: x % 1e9 / per_unit < units_per_sec <= 1e9.
+        let ts_sub = u32::try_from((ts_nanos % 1_000_000_000) / per_unit)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "subsecond field overflow"))?;
+        let incl_len = u32::try_from(data.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "record of {} bytes overflows the 32-bit incl_len field",
+                    data.len()
+                ),
+            )
+        })?;
         self.inner.write_all(&ts_sec.to_le_bytes())?;
         self.inner.write_all(&ts_sub.to_le_bytes())?;
-        self.inner.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&incl_len.to_le_bytes())?;
         self.inner.write_all(&orig_len.to_le_bytes())?;
         self.inner.write_all(data)
     }
