@@ -1,0 +1,370 @@
+//! `tcpa-bench compare` — diffing two `tcpa-bench/v1` stage-timing
+//! documents into a perf verdict.
+//!
+//! `BENCH_stage_timings.json` is only a trajectory if something reads
+//! it: this module compares a committed baseline against a fresh run,
+//! prints a deterministic per-scenario delta table, and decides whether
+//! any scenario *regressed* — slower by more than
+//! [`CompareConfig::threshold_pct`] percent AND more than
+//! [`CompareConfig::floor_ms`] milliseconds. Both gates must trip: the
+//! percentage alone would flag microsecond jitter on fast scenarios,
+//! the floor alone would ignore a big relative slide on a slow one.
+//!
+//! Output ordering follows the *old* document (the baseline is the
+//! contract), with scenarios new to the current run appended — so the
+//! table is byte-stable for fixed inputs and diffs cleanly in CI logs.
+
+use crate::TextTable;
+use tcpanaly::obs::json::Value;
+
+/// Regression thresholds for one comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// A scenario regresses only when it slows down by more than this
+    /// percentage of the baseline…
+    pub threshold_pct: f64,
+    /// …and by more than this many absolute milliseconds (noise floor).
+    pub floor_ms: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> CompareConfig {
+        CompareConfig {
+            threshold_pct: 25.0,
+            floor_ms: 1.0,
+        }
+    }
+}
+
+/// How one scenario moved between the two documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within thresholds.
+    Ok,
+    /// Slower beyond both the percentage and the floor.
+    Regressed,
+    /// Faster beyond both the percentage and the floor.
+    Improved,
+    /// Present only in the new document.
+    Added,
+    /// Present only in the old document.
+    Removed,
+}
+
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "improved",
+            Verdict::Added => "added",
+            Verdict::Removed => "removed",
+        }
+    }
+}
+
+/// One scenario's delta row.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Scenario slug.
+    pub scenario: String,
+    /// Baseline wall clock, seconds (`None` for added scenarios).
+    pub old_secs: Option<f64>,
+    /// Current wall clock, seconds (`None` for removed scenarios).
+    pub new_secs: Option<f64>,
+    /// The slowest-moving stage between the runs, as supporting
+    /// evidence for the wall-clock verdict (empty when unavailable).
+    pub hottest_stage: String,
+    /// The verdict under the config's thresholds.
+    pub verdict: Verdict,
+}
+
+/// The full comparison: rows in baseline order, additions appended.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-scenario rows.
+    pub rows: Vec<DeltaRow>,
+    /// The thresholds the verdicts were computed under.
+    pub config: CompareConfig,
+}
+
+/// One parsed scenario: wall clock plus per-stage total nanoseconds.
+struct Scenario {
+    elapsed_secs: f64,
+    stage_total_ns: Vec<(String, u64)>,
+}
+
+fn parse_doc(text: &str, which: &str) -> Result<Vec<(String, Scenario)>, String> {
+    crate::timing::validate(text).map_err(|e| format!("{which}: {e}"))?;
+    let doc = Value::parse(text).map_err(|e| format!("{which}: {e}"))?;
+    let mut out = Vec::new();
+    for s in doc
+        .get("scenarios")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+    {
+        let slug = s
+            .get("scenario")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let elapsed_secs = s
+            .get("elapsed_secs")
+            .and_then(Value::as_f64)
+            .unwrap_or_default();
+        let stage_total_ns = s
+            .get("stages")
+            .and_then(Value::as_obj)
+            .map(|stages| {
+                stages
+                    .iter()
+                    .map(|(name, h)| {
+                        (
+                            name.clone(),
+                            h.get("total_ns").and_then(Value::as_u64).unwrap_or(0),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if out.iter().any(|(existing, _)| *existing == slug) {
+            return Err(format!("{which}: duplicate scenario {slug:?}"));
+        }
+        out.push((
+            slug,
+            Scenario {
+                elapsed_secs,
+                stage_total_ns,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+/// The stage whose total moved the most between the runs, signed.
+fn hottest_stage(old: &Scenario, new: &Scenario) -> String {
+    let mut best: Option<(i128, &str)> = None;
+    for (name, new_ns) in &new.stage_total_ns {
+        let old_ns = old
+            .stage_total_ns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        let delta = *new_ns as i128 - old_ns as i128;
+        if best.map(|(d, _)| delta.abs() > d.abs()).unwrap_or(true) {
+            best = Some((delta, name));
+        }
+    }
+    match best {
+        Some((delta, name)) if delta != 0 => {
+            format!(
+                "{name} {}{:.1} ms",
+                sign(delta as f64),
+                delta.abs() as f64 / 1e6
+            )
+        }
+        _ => String::new(),
+    }
+}
+
+fn sign(v: f64) -> &'static str {
+    if v < 0.0 {
+        "-"
+    } else {
+        "+"
+    }
+}
+
+/// Compares two `tcpa-bench/v1` documents. Errors are parse/schema
+/// problems; threshold verdicts live in the returned report.
+pub fn compare(
+    old_text: &str,
+    new_text: &str,
+    config: CompareConfig,
+) -> Result<CompareReport, String> {
+    let old = parse_doc(old_text, "old document")?;
+    let new = parse_doc(new_text, "new document")?;
+    let floor_secs = config.floor_ms / 1e3;
+    let mut rows = Vec::new();
+    for (slug, old_s) in &old {
+        let row = match new.iter().find(|(n, _)| n == slug) {
+            None => DeltaRow {
+                scenario: slug.clone(),
+                old_secs: Some(old_s.elapsed_secs),
+                new_secs: None,
+                hottest_stage: String::new(),
+                verdict: Verdict::Removed,
+            },
+            Some((_, new_s)) => {
+                let delta = new_s.elapsed_secs - old_s.elapsed_secs;
+                let pct = if old_s.elapsed_secs > 0.0 {
+                    100.0 * delta / old_s.elapsed_secs
+                } else if delta > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                let verdict = if delta > floor_secs && pct > config.threshold_pct {
+                    Verdict::Regressed
+                } else if -delta > floor_secs && -pct > config.threshold_pct {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                DeltaRow {
+                    scenario: slug.clone(),
+                    old_secs: Some(old_s.elapsed_secs),
+                    new_secs: Some(new_s.elapsed_secs),
+                    hottest_stage: hottest_stage(old_s, new_s),
+                    verdict,
+                }
+            }
+        };
+        rows.push(row);
+    }
+    for (slug, new_s) in &new {
+        if !old.iter().any(|(o, _)| o == slug) {
+            rows.push(DeltaRow {
+                scenario: slug.clone(),
+                old_secs: None,
+                new_secs: Some(new_s.elapsed_secs),
+                hottest_stage: String::new(),
+                verdict: Verdict::Added,
+            });
+        }
+    }
+    Ok(CompareReport { rows, config })
+}
+
+impl CompareReport {
+    /// `true` when any scenario regressed beyond the thresholds.
+    pub fn has_regressions(&self) -> bool {
+        self.rows.iter().any(|r| r.verdict == Verdict::Regressed)
+    }
+
+    /// Renders the deterministic delta table plus a one-line summary.
+    pub fn render(&self) -> String {
+        let secs = |v: Option<f64>| match v {
+            Some(s) => format!("{:.3}", s),
+            None => "-".to_string(),
+        };
+        let mut table = TextTable::new(&[
+            "scenario",
+            "old s",
+            "new s",
+            "delta",
+            "hottest stage",
+            "verdict",
+        ]);
+        for row in &self.rows {
+            let delta = match (row.old_secs, row.new_secs) {
+                (Some(old), Some(new)) => {
+                    let d = new - old;
+                    let pct = if old > 0.0 {
+                        format!(" ({}{:.0}%)", sign(d), (100.0 * d / old).abs())
+                    } else {
+                        String::new()
+                    };
+                    format!("{}{:.3}s{pct}", sign(d), d.abs())
+                }
+                _ => "-".to_string(),
+            };
+            table.row(vec![
+                row.scenario.clone(),
+                secs(row.old_secs),
+                secs(row.new_secs),
+                delta,
+                row.hottest_stage.clone(),
+                row.verdict.as_str().to_string(),
+            ]);
+        }
+        let regressed = self
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regressed)
+            .count();
+        let mut out = table.render();
+        out.push_str(&format!(
+            "{} scenarios, {} regressed (threshold {:.0}%, floor {:.1} ms)\n",
+            self.rows.len(),
+            regressed,
+            self.config.threshold_pct,
+            self.config.floor_ms,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, f64, u64)]) -> String {
+        let scenarios: Vec<String> = rows
+            .iter()
+            .map(|(slug, secs, stage_ns)| {
+                format!(
+                    r#"{{"scenario": "{slug}", "section": "S", "elapsed_secs": {secs},
+                        "counters": {{}},
+                        "stages": {{"stage.calibrate": {{"count": 1, "total_ns": {stage_ns},
+                          "p50_ns": 0, "p90_ns": 0, "p99_ns": 0, "max_ns": 0}}}}}}"#
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"schema": "tcpa-bench/v1", "scenarios": [{}]}}"#,
+            scenarios.join(", ")
+        )
+    }
+
+    #[test]
+    fn flags_regressions_beyond_both_gates() {
+        let old = doc(&[("a", 1.0, 1_000_000), ("b", 0.0001, 100)]);
+        // a: +50% and +500ms — regressed. b: +900% but under the 1ms
+        // floor — noise, not a regression.
+        let new = doc(&[("a", 1.5, 1_400_000_000), ("b", 0.001, 100)]);
+        let report = compare(&old, &new, CompareConfig::default()).expect("compare");
+        assert!(report.has_regressions());
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        assert_eq!(report.rows[1].verdict, Verdict::Ok);
+        let table = report.render();
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("stage.calibrate +1399.0 ms"), "{table}");
+        assert!(table.contains("1 regressed"), "{table}");
+    }
+
+    #[test]
+    fn improvements_additions_and_removals_do_not_gate() {
+        let old = doc(&[("gone", 2.0, 10), ("fast", 2.0, 10)]);
+        let new = doc(&[("fast", 0.5, 10), ("fresh", 1.0, 10)]);
+        let report = compare(&old, &new, CompareConfig::default()).expect("compare");
+        assert!(!report.has_regressions());
+        let verdicts: Vec<Verdict> = report.rows.iter().map(|r| r.verdict).collect();
+        assert_eq!(
+            verdicts,
+            vec![Verdict::Removed, Verdict::Improved, Verdict::Added]
+        );
+    }
+
+    #[test]
+    fn identical_documents_are_all_ok() {
+        let d = doc(&[("a", 1.0, 5), ("b", 2.0, 7)]);
+        let report = compare(&d, &d, CompareConfig::default()).expect("compare");
+        assert!(!report.has_regressions());
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::Ok));
+        // Byte-determinism: rendering twice is identical.
+        assert_eq!(report.render(), report.render());
+    }
+
+    #[test]
+    fn schema_problems_are_errors() {
+        let good = doc(&[("a", 1.0, 5)]);
+        assert!(compare("{}", &good, CompareConfig::default()).is_err());
+        assert!(compare(&good, "not json", CompareConfig::default()).is_err());
+        let dup = doc(&[("a", 1.0, 5), ("a", 1.0, 5)]);
+        let err = compare(&dup, &good, CompareConfig::default()).expect_err("dup");
+        assert!(err.contains("duplicate"), "{err}");
+    }
+}

@@ -17,6 +17,7 @@
 //! states the paper's claim, the measured result, and whether the *shape*
 //! (who wins, what breaks, where the boundary lies) reproduces.
 
+pub mod compare;
 pub mod scenarios;
 pub mod timing;
 

@@ -57,6 +57,7 @@ fn timed_run(items: Vec<CorpusItem>, jobs: usize) -> (CorpusReport, f64) {
         vantage: Vantage::Sender,
         ..CorpusConfig::default()
     };
+    // tcpa-lint: allow(determinism-hazards) -- the scenario reports end-to-end wall-clock including span overhead, so it cannot itself run under a span
     let start = Instant::now();
     let report = analyze_corpus(MemorySource::new(items), &config);
     (report, start.elapsed().as_secs_f64())

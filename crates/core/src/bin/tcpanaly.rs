@@ -22,10 +22,12 @@
 //!
 //! Observability: `--metrics-out FILE` writes a `tcpa-metrics/v1` JSON
 //! snapshot of every counter and stage histogram, `--audit-dir DIR`
-//! writes one `tcpa-audit/v1` event log per trace, `--progress` prints a
-//! periodic stderr status line, and `--quiet`/`-v`/`-vv` set diagnostic
-//! verbosity. Machine output (census, reports) stays on stdout;
-//! diagnostics stay on stderr.
+//! writes one `tcpa-audit/v1` event log per trace, `--trace-out FILE`
+//! writes the run's hierarchical span tree in Chrome `trace_event`
+//! format (open it in Perfetto or `chrome://tracing`), `--progress`
+//! prints a periodic stderr status line, and `--quiet`/`-v`/`-vv` set
+//! diagnostic verbosity. Machine output (census, reports) stays on
+//! stdout; diagnostics stay on stderr.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -51,6 +53,7 @@ struct Options {
     timeout_secs: Option<u64>,
     metrics_out: Option<PathBuf>,
     audit_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     progress: bool,
     level: log::Level,
     files: Vec<String>,
@@ -84,6 +87,9 @@ options:
                           counters and stage-duration histograms on exit
   --audit-dir DIR         write one tcpa-audit/v1 JSON event log per trace
                           (stage durations, retries, errors, verdicts)
+  --trace-out FILE        write the run's span tree as a Chrome trace_event
+                          JSON file (one lane per worker plus the watchdog;
+                          view in Perfetto or chrome://tracing)
   --progress              print a periodic status line to stderr while a
                           batch run drains (stdout is never touched)
   --quiet                 only error diagnostics on stderr
@@ -103,6 +109,7 @@ fn parse_args() -> Result<Options, String> {
         timeout_secs: None,
         metrics_out: None,
         audit_dir: None,
+        trace_out: None,
         progress: false,
         level: log::Level::Warn,
         files: Vec::new(),
@@ -142,6 +149,10 @@ fn parse_args() -> Result<Options, String> {
                 let path = args.next().ok_or("--audit-dir requires a directory")?;
                 opts.audit_dir = Some(PathBuf::from(path));
             }
+            "--trace-out" => {
+                let path = args.next().ok_or("--trace-out requires a path")?;
+                opts.trace_out = Some(PathBuf::from(path));
+            }
             "--progress" => opts.progress = true,
             "--quiet" => opts.level = log::Level::Error,
             "-v" => opts.level = log::Level::Info,
@@ -172,6 +183,11 @@ fn parse_args() -> Result<Options, String> {
             other if other.starts_with("--audit-dir=") => {
                 opts.audit_dir = Some(PathBuf::from(
                     other.strip_prefix("--audit-dir=").unwrap_or_default(),
+                ));
+            }
+            other if other.starts_with("--trace-out=") => {
+                opts.trace_out = Some(PathBuf::from(
+                    other.strip_prefix("--trace-out=").unwrap_or_default(),
                 ));
             }
             other if other.starts_with("--timeout-secs=") => {
@@ -250,7 +266,9 @@ fn run_batch(opts: &Options, jobs: usize) -> ExitCode {
         degrade: opts.degrade,
         timeout: opts.timeout_secs.map(std::time::Duration::from_secs),
         audit_dir: opts.audit_dir.clone(),
-        progress: opts.progress.then(|| std::time::Duration::from_millis(500)),
+        // --quiet wins over --progress: errors only means errors only.
+        progress: (opts.progress && opts.level != log::Level::Error)
+            .then(|| std::time::Duration::from_millis(500)),
         ..CorpusConfig::default()
     };
     // A panicking trace is reported in the census as a failed item; keep
@@ -434,7 +452,12 @@ fn run_files(opts: &Options) -> ExitCode {
         if opts.audit_dir.is_some() {
             audit::begin(file.as_str(), index as u64);
         }
+        obs::trace::begin_item(file.as_str(), index as u64);
+        let mut item_span = obs::span("corpus.item");
+        item_span.note(file.as_str());
         let result = analyze_file(file, opts);
+        drop(item_span);
+        obs::trace::end_item();
         let outcome = match &result {
             Ok(()) => "analyzed".to_string(),
             Err(e) => {
@@ -465,7 +488,7 @@ fn run_files(opts: &Options) -> ExitCode {
 }
 
 /// Writes the `tcpa-metrics/v1` snapshot of the whole run.
-fn write_metrics(path: &Path, started: Instant) -> std::io::Result<()> {
+fn write_metrics(path: &Path, started: Instant) -> Result<(), obs::write::WriteError> {
     // Declare the counters a healthy run never touches, so the document
     // carries the full vocabulary with stable zeros.
     for name in [
@@ -482,7 +505,15 @@ fn write_metrics(path: &Path, started: Instant) -> std::io::Result<()> {
         obs::registry::global().declare(name);
     }
     let snapshot = obs::registry::global().snapshot();
-    std::fs::write(path, snapshot.to_json(started.elapsed().as_secs_f64()))
+    obs::write::write_with_parents(path, &snapshot.to_json(started.elapsed().as_secs_f64()))
+}
+
+/// Drains the span-tree collector and writes the Chrome trace_event
+/// document.
+fn write_trace_out(path: &Path) -> Result<(), obs::write::WriteError> {
+    let events = obs::trace::drain();
+    log::debug(&obs::trace::summary_line(&events));
+    obs::write::write_with_parents(path, &obs::trace::render_chrome(&events))
 }
 
 fn main() -> ExitCode {
@@ -497,15 +528,27 @@ fn main() -> ExitCode {
         }
     };
     log::set_level(opts.level);
+    if opts.trace_out.is_some() {
+        obs::trace::enable();
+    }
     let code = match opts.jobs {
         Some(jobs) => run_batch(&opts, jobs),
         None => run_files(&opts),
     };
-    if let Some(path) = &opts.metrics_out {
-        if let Err(e) = write_metrics(path, started) {
-            log::error(&format!("cannot write metrics to {}: {e}", path.display()));
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = write_trace_out(path) {
+            log::error(&format!("trace: {e}"));
             return ExitCode::from(2);
         }
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = write_metrics(path, started) {
+            log::error(&format!("metrics: {e}"));
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(line) = obs::registry::global().snapshot().human_summary() {
+        log::info(&line);
     }
     code
 }

@@ -46,6 +46,7 @@ use crate::fingerprint::FitClass;
 use crate::report::{AnalysisReport, Analyzer};
 use tcpa_obs::audit::{self, AuditTrail, EventKind};
 use tcpa_obs::progress::{ItemClass, Progress};
+use tcpa_obs::trace;
 use tcpa_trace::pcap_io::IngestReport;
 use tcpa_trace::source::{CorpusItem, LoadError, LoadMode, Loaded, TraceInput, TraceSource};
 use tcpa_trace::{Duration, Summary, Trace};
@@ -620,11 +621,9 @@ fn load_item(config: &CorpusConfig, input: &TraceInput) -> Result<Loaded, Analys
             Ok(loaded) => return Ok(loaded),
             Err(e) if e.is_transient() && attempt < config.io_retries => {
                 tcpa_obs::add("corpus.io_retries", 1);
-                audit::event(
-                    EventKind::Retry,
-                    "load",
-                    format!("attempt {}: {e}", attempt + 1),
-                );
+                let detail = format!("attempt {}: {e}", attempt + 1);
+                trace::instant("retry", &detail);
+                audit::event(EventKind::Retry, "load", detail);
                 thread::sleep(config.retry_backoff * 2u32.saturating_pow(attempt));
                 attempt += 1;
             }
@@ -667,12 +666,23 @@ fn analyze_guarded(
         }),
         Some(limit) => {
             let auditing = audit::is_active();
+            // The span tree crosses the thread boundary explicitly: the
+            // watchdog adopts this item's context (same id counter, its
+            // spans parented under our open span) so the tree stays
+            // connected. A timed-out watchdog is detached before it
+            // flushes; its in-flight spans are lost, like its audit
+            // events.
+            let traced = trace::handoff();
             let (tx, rx) = mpsc::channel();
             let spawned = thread::Builder::new()
                 .name("tcpanaly-watchdog".into())
                 .spawn(move || {
                     if auditing {
                         audit::begin("<watchdog>", 0);
+                    }
+                    let adopted = traced.is_some();
+                    if let Some(ctx) = traced {
+                        trace::adopt(ctx);
                     }
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         let fixed = match vantage {
@@ -682,7 +692,11 @@ fn analyze_guarded(
                         };
                         analyze_one(fixed.as_ref(), &trace)
                     }));
-                    let _ = tx.send((result.map_err(panic_message), audit::take("")));
+                    let trail = audit::take("");
+                    if adopted {
+                        trace::finish_adopted();
+                    }
+                    let _ = tx.send((result.map_err(panic_message), trail));
                 });
             if spawned.is_err() {
                 return Err(AnalysisError::Io {
@@ -699,9 +713,12 @@ fn analyze_guarded(
                         Err(message) => Err(AnalysisError::Panicked { message }),
                     }
                 }
-                Err(_) => Err(AnalysisError::Timeout {
-                    limit_ms: limit.as_millis() as u64,
-                }),
+                Err(_) => {
+                    trace::instant("timeout", &format!("limit {} ms", limit.as_millis()));
+                    Err(AnalysisError::Timeout {
+                        limit_ms: limit.as_millis() as u64,
+                    })
+                }
             }
         }
     }
@@ -721,7 +738,24 @@ fn process_item(
     if config.audit_dir.is_some() {
         audit::begin(id, index as u64);
     }
-    let outcome = process_item_inner(config, fixed, input);
+    trace::begin_item(id, index as u64);
+    let outcome = {
+        // The item's root span: every stage span and fault instant below
+        // (including the watchdog's, via handoff) parents under it.
+        let mut root = tcpa_obs::span("corpus.item");
+        root.note(id);
+        let outcome = process_item_inner(config, fixed, input);
+        match &outcome {
+            ItemOutcome::Salvaged { report, .. } => {
+                trace::instant("salvage", &report.to_string());
+            }
+            ItemOutcome::Failed(e) => {
+                trace::instant("degrade", &format!("{}: {e}", e.class()));
+            }
+            ItemOutcome::Analyzed(_) => {}
+        }
+        outcome
+    };
     match &outcome {
         ItemOutcome::Salvaged { summary, report } => {
             audit::event(EventKind::Info, "ingest.salvage", report.to_string());
@@ -735,6 +769,7 @@ fn process_item(
         }
     }
     let trail = audit::take(&outcome.name());
+    trace::end_item();
     (outcome, trail)
 }
 
@@ -811,11 +846,12 @@ pub fn analyze_corpus<S: TraceSource>(source: S, config: &CorpusConfig) -> Corpu
         .map(|interval| Progress::start(total_hint, interval));
 
     let mut items = thread::scope(|scope| {
-        for _ in 0..jobs {
+        for worker in 0..jobs {
             let tx = tx.clone();
             let cursor = &cursor;
             let abort = &abort;
             scope.spawn(move || {
+                trace::set_lane(&format!("worker-{worker}"));
                 // Per-worker analyzer: constructed once, reused for every
                 // item this worker claims (auto-vantage has no fixed
                 // analyzer; it must sniff each trace).

@@ -126,29 +126,32 @@ impl Analyzer {
     }
 
     fn analyze_connection(&self, conn: &Connection) -> ConnectionReport {
-        let fingerprint = tcpa_obs::time("stage.fingerprint", || match self.vantage {
+        // The connection key rides on every per-connection span so the
+        // exported trace can answer "which connection was this?".
+        let key = format!("{} -> {}", conn.sender, conn.receiver);
+        let fingerprint = tcpa_obs::time_noted("stage.fingerprint", &key, || match self.vantage {
             // Sender behavior can only be judged from a vantage at or
             // near the sender (§6.1); from elsewhere, network delay
             // between filter and sender poisons the response delays.
             Vantage::Receiver => Vec::new(),
             _ => fingerprint(conn),
         });
-        let receiver = tcpa_obs::time("stage.receiver", || match self.vantage {
+        let receiver = tcpa_obs::time_noted("stage.receiver", &key, || match self.vantage {
             Vantage::Sender => None,
             _ => analyze_receiver(conn),
         });
         let receiver_fingerprint =
-            tcpa_obs::time("stage.receiver_fingerprint", || match self.vantage {
+            tcpa_obs::time_noted("stage.receiver_fingerprint", &key, || match self.vantage {
                 Vantage::Receiver => fingerprint_receiver(conn),
                 _ => Vec::new(),
             });
         ConnectionReport {
-            description: format!("{} -> {}", conn.sender, conn.receiver),
             fingerprint,
             receiver,
             receiver_fingerprint,
-            handshake: tcpa_obs::time("stage.handshake", || analyze_handshake(conn)),
-            stats: tcpa_obs::time("stage.stats", || tcpa_trace::ConnStats::of(conn)),
+            handshake: tcpa_obs::time_noted("stage.handshake", &key, || analyze_handshake(conn)),
+            stats: tcpa_obs::time_noted("stage.stats", &key, || tcpa_trace::ConnStats::of(conn)),
+            description: key,
         }
     }
 }

@@ -226,10 +226,17 @@ const ENV_READS: &[&str] = &[
 /// (`hash` sub-scope), wall-clock reads outside whitelisted timing
 /// modules (`clock` sub-scope), and `std::env` reads outside CLI parsing
 /// (`env` sub-scope).
+///
+/// The `span_clock` sub-scope covers the files the `clock` whitelist
+/// exempts: there, raw `Instant::now()`/`SystemTime::now()` is still
+/// flagged — not as an output hazard but because it bypasses the span
+/// API, so the time never reaches metrics or the trace. Only
+/// `crates/obs` itself (where the span clock lives) is excluded.
 fn determinism_hazards(ctx: &FileCtx<'_>, scope: &RuleScope, out: &mut Vec<Finding>) {
     let t = ctx.tokens;
     let hash = scope.applies_sub("hash", ctx.path);
     let clock = scope.applies_sub("clock", ctx.path);
+    let span_clock = scope.applies_sub("span_clock", ctx.path);
     let env = scope.applies_sub("env", ctx.path);
     for i in 0..t.len() {
         if ctx.exempt(t[i].line) {
@@ -258,6 +265,26 @@ fn determinism_hazards(ctx: &FileCtx<'_>, scope: &RuleScope, out: &mut Vec<Findi
                 format!(
                     "`{}::now()` outside the whitelisted timing modules leaks wall-clock \
                      into analysis output",
+                    t[i].text
+                ),
+            ));
+            continue;
+        }
+        // Only where the `clock` whitelist opted the file out — under the
+        // default (full) scope the branch above already owns the pattern.
+        if !clock
+            && span_clock
+            && (t[i].is_ident("Instant") || t[i].is_ident("SystemTime"))
+            && t.get(i + 1).is_some_and(|p| p.kind == TokKind::PathSep)
+            && t.get(i + 2).is_some_and(|m| m.is_ident("now"))
+        {
+            out.push(ctx.finding(
+                &t[i],
+                "determinism-hazards",
+                format!(
+                    "raw `{}::now()` bypasses the span API; time through \
+                     `tcpa_obs::span`/`time` so the measurement reaches metrics \
+                     and the trace, or add a justified allow",
                     t[i].text
                 ),
             ));
@@ -419,6 +446,40 @@ mod tests {
         let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); let v = std::env::var(\"X\"); }";
         let f = check("a.rs", src);
         assert_eq!(rules_hit(&f), vec!["determinism-hazards"; 3], "{f:?}");
+    }
+
+    #[test]
+    fn span_clock_fires_only_where_clock_whitelist_applies() {
+        let config = Config::parse(
+            "[rule.determinism-hazards]\n\
+             clock_exclude = [\"crates/bench/\", \"crates/obs/src/\"]\n\
+             span_clock_exclude = [\"crates/obs/src/\"]\n",
+            RULE_NAMES,
+        )
+        .expect("config parses");
+        let src = "fn f() { let t = Instant::now(); }";
+        let lexed = lex(src);
+        let tests = detect(&lexed.tokens);
+        let run = |path| {
+            let ctx = FileCtx {
+                path,
+                tokens: &lexed.tokens,
+                tests: &tests,
+                file_is_test: false,
+            };
+            run_all(&ctx, |r| config.scope(r))
+        };
+        // Full scope: the legacy clock branch owns the pattern (one finding).
+        let f = run("crates/core/src/a.rs");
+        assert_eq!(rules_hit(&f), vec!["determinism-hazards"], "{f:?}");
+        assert!(f[0].message.contains("whitelisted timing modules"), "{f:?}");
+        // Clock-whitelisted file: the span-clock branch takes over.
+        let f = run("crates/bench/src/a.rs");
+        assert_eq!(rules_hit(&f), vec!["determinism-hazards"], "{f:?}");
+        assert!(f[0].message.contains("bypasses the span API"), "{f:?}");
+        // The span implementation itself is exempt from both.
+        let f = run("crates/obs/src/span.rs");
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -167,12 +167,13 @@ impl AuditTrail {
         format!("{:05}-{}.json", self.index, slug)
     }
 
-    /// Writes the trail into `dir` (created if absent) as
-    /// [`AuditTrail::file_name`].
-    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
+    /// Writes the trail into `dir` (created if absent, parents
+    /// included) as [`AuditTrail::file_name`], reporting the failing
+    /// path and step on error.
+    pub fn write_to(&self, dir: &Path) -> Result<PathBuf, crate::write::WriteError> {
+        crate::write::ensure_dir(dir)?;
         let path = dir.join(self.file_name());
-        std::fs::write(&path, self.to_json())?;
+        crate::write::write_with_parents(&path, &self.to_json())?;
         Ok(path)
     }
 }

@@ -36,6 +36,8 @@ pub mod metrics;
 pub mod progress;
 pub mod registry;
 pub mod span;
+pub mod trace;
+pub mod write;
 
 pub use hist::LogHistogram;
 pub use metrics::MetricsSnapshot;
@@ -50,6 +52,14 @@ pub fn span(name: &'static str) -> Span {
 /// Times a closure as a stage span.
 pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
     let _span = Span::start(name);
+    f()
+}
+
+/// Times a closure as a stage span carrying a human-readable note
+/// (surfaced in the audit trail and the trace `args.detail`).
+pub fn time_noted<R>(name: &'static str, detail: &str, f: impl FnOnce() -> R) -> R {
+    let mut span = Span::start(name);
+    span.note(detail);
     f()
 }
 

@@ -12,10 +12,18 @@
 //!       "<stage>": { "count": n, "total_ns": ..., "p50_ns": ...,
 //!                     "p90_ns": ..., "p99_ns": ..., "max_ns": ... },
 //!       ...
-//!     }
+//!     },
+//!     "stages_summary": { "count": ..., "total_ns": ..., "p50_ns": ...,
+//!                          "p90_ns": ..., "p99_ns": ..., "max_ns": ... }
 //!   }
 //! }
 //! ```
+//!
+//! `stages_summary` pools every `stage.*` histogram (the per-connection
+//! pipeline stages; `analyze.*`/`ingest.*`/`detail.*` aggregates are
+//! excluded so totals are not double-counted) into one distribution —
+//! the operator's "how long does a stage usually take" answer without
+//! reading N objects. The field is additive; the schema stays v1.
 //!
 //! **Determinism contract:** everything *outside* the top-level
 //! `wall_clock` member depends only on the corpus and configuration —
@@ -88,6 +96,35 @@ impl MetricsSnapshot {
         )
     }
 
+    /// Every `stage.*` histogram pooled into one distribution.
+    pub fn stages_summary(&self) -> LogHistogram {
+        let mut pooled = LogHistogram::new();
+        for (name, h) in &self.stages {
+            if name.starts_with("stage.") {
+                pooled.merge(h);
+            }
+        }
+        pooled
+    }
+
+    /// One human-readable line over the pooled stage distribution, for
+    /// `-v` output. Empty when no stages ran.
+    pub fn human_summary(&self) -> Option<String> {
+        let pooled = self.stages_summary();
+        if pooled.count() == 0 {
+            return None;
+        }
+        let ms = |ns: u64| ns as f64 / 1e6;
+        Some(format!(
+            "stages: {} spans, p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+            pooled.count(),
+            ms(pooled.percentile(50.0)),
+            ms(pooled.percentile(90.0)),
+            ms(pooled.percentile(99.0)),
+            ms(pooled.max()),
+        ))
+    }
+
     /// Renders the full `tcpa-metrics/v1` document. `elapsed_secs` is
     /// the run's wall clock as measured by the caller.
     pub fn to_json(&self, elapsed_secs: f64) -> String {
@@ -102,6 +139,7 @@ impl MetricsSnapshot {
                         Value::Num(format!("{elapsed_secs:.6}")),
                     ),
                     ("stages".into(), self.stages_object()),
+                    ("stages_summary".into(), hist_object(&self.stages_summary())),
                 ]),
             ),
         ]);
@@ -170,6 +208,12 @@ pub fn validate_metrics(text: &str) -> Result<(), String> {
         let what = format!("metrics stage {name:?}");
         for field in ["count", "total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
             require_u64(stage, field, &what)?;
+        }
+    }
+    // Additive in-place on v1; tolerate its absence in older documents.
+    if let Some(summary) = wall.get("stages_summary") {
+        for field in ["count", "total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            require_u64(summary, field, "metrics.wall_clock.stages_summary")?;
         }
     }
     Ok(())
@@ -270,6 +314,19 @@ mod tests {
         let h = delta.stages.get("stage.x").unwrap();
         assert_eq!(h.count(), 1);
         assert_eq!(h.sum(), 900);
+    }
+
+    #[test]
+    fn stages_summary_pools_stage_histograms_only() {
+        let snap = sample();
+        let pooled = snap.stages_summary();
+        // Two stage.calibrate samples; analyze.total is excluded.
+        assert_eq!(pooled.count(), 2);
+        assert_eq!(pooled.sum(), 200_000);
+        let line = snap.human_summary().expect("stages ran");
+        assert!(line.starts_with("stages: 2 spans"), "{line}");
+        assert!(line.contains("p99"), "{line}");
+        assert!(MetricsSnapshot::default().human_summary().is_none());
     }
 
     #[test]

@@ -6,10 +6,22 @@
 //! answerable. The pipeline reports completions through cheap atomic
 //! increments; [`Progress::finish`] stops the ticker and always prints a
 //! final summary line. Strictly stderr: stdout belongs to the census.
+//!
+//! Redraw policy: the interval is clamped to [`MIN_INTERVAL`] (at most
+//! 10 redraws/sec — a meter must never dominate a fast run's I/O), and
+//! the periodic ticker only runs when stderr is a terminal. Piped
+//! stderr (CI logs, `2>file`) still gets the final summary line from
+//! [`Progress::finish`], just not the intermediate repaints. When the
+//! corpus length is known, the line carries an ETA extrapolated from
+//! the running item rate.
 
+use std::io::IsTerminal;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Floor on the redraw interval: at most 10 redraws per second.
+pub const MIN_INTERVAL: Duration = Duration::from_millis(100);
 
 /// How a completed corpus item classifies for the status line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +55,17 @@ impl Shared {
             Some(total) => format!("{done}/{total}"),
             None => format!("{done}"),
         };
+        let eta = match self.total {
+            // Extrapolate from the running rate once at least one item
+            // finished; "eta -" before that and once the run is done.
+            Some(total) if done > 0 && done < total && rate > 0.0 => {
+                format!(" eta {:.0}s", (total - done) as f64 / rate)
+            }
+            Some(total) if done < total => " eta -".to_string(),
+            _ => String::new(),
+        };
         format!(
-            "progress {of_total} traces ({salvaged} salvaged, {failed} failed) {rate:.1}/s elapsed {secs:.1}s"
+            "progress {of_total} traces ({salvaged} salvaged, {failed} failed) {rate:.1}/s elapsed {secs:.1}s{eta}"
         )
     }
 
@@ -61,9 +82,12 @@ pub struct Progress {
 }
 
 impl Progress {
-    /// Starts the meter and its ticker thread. `total` sizes the
-    /// "done/total" readout when the corpus length is known up front.
+    /// Starts the meter and — when stderr is a terminal — its ticker
+    /// thread. `total` sizes the "done/total" readout when the corpus
+    /// length is known up front. The interval is clamped to
+    /// [`MIN_INTERVAL`].
     pub fn start(total: Option<usize>, interval: Duration) -> Progress {
+        let interval = interval.max(MIN_INTERVAL);
         let shared = Arc::new(Shared {
             total: total.map(|n| n as u64),
             done: AtomicU64::new(0),
@@ -72,6 +96,14 @@ impl Progress {
             stop: AtomicBool::new(false),
             start: Instant::now(),
         });
+        // Intermediate repaints are only useful on an interactive
+        // terminal; a piped stderr keeps just the final summary line.
+        if !std::io::stderr().is_terminal() {
+            return Progress {
+                shared,
+                ticker: None,
+            };
+        }
         let ticker_shared = Arc::clone(&shared);
         let ticker = std::thread::Builder::new()
             .name("tcpa-progress".into())
@@ -145,10 +177,25 @@ mod tests {
     }
 
     #[test]
-    fn unknown_total_omits_denominator() {
+    fn unknown_total_omits_denominator_and_eta() {
         let p = Progress::start(None, Duration::from_secs(3600));
         p.observe(ItemClass::Analyzed);
         let line = p.shared.line();
         assert!(line.contains("progress 1 traces"), "{line}");
+        assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn eta_appears_midway_and_disappears_when_done() {
+        let p = Progress::start(Some(4), Duration::from_secs(3600));
+        p.observe(ItemClass::Analyzed);
+        p.observe(ItemClass::Analyzed);
+        std::thread::sleep(Duration::from_millis(5));
+        let midway = p.shared.line();
+        assert!(midway.contains(" eta "), "{midway}");
+        p.observe(ItemClass::Analyzed);
+        p.observe(ItemClass::Analyzed);
+        let done = p.shared.line();
+        assert!(!done.contains("eta"), "{done}");
     }
 }

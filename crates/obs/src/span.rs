@@ -11,7 +11,7 @@
 //! assert_eq!(result, 4);
 //! ```
 
-use crate::{audit, registry};
+use crate::{audit, registry, trace};
 use std::time::Instant;
 
 /// An in-flight stage timer; records on drop.
@@ -20,6 +20,9 @@ pub struct Span {
     name: &'static str,
     start: Instant,
     detail: String,
+    /// Span-tree bookkeeping, present only while tracing is enabled and
+    /// an item context is open on this thread.
+    traced: Option<trace::OpenSpan>,
 }
 
 impl Span {
@@ -29,6 +32,7 @@ impl Span {
             name,
             start: Instant::now(),
             detail: String::new(),
+            traced: trace::open_span(),
         }
     }
 
@@ -48,6 +52,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
         registry::global().record(self.name, elapsed);
+        if let Some(open) = self.traced.take() {
+            trace::close_span(open, self.name, &self.detail);
+        }
         audit::stage_event(self.name, elapsed, std::mem::take(&mut self.detail));
     }
 }
